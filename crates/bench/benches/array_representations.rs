@@ -1,0 +1,63 @@
+//! TB-2: the cost of a premature representation choice (§5).
+//!
+//! "The premature choice of a storage structure and set of access
+//! routines is a common cause of inefficiencies in software." Both
+//! representations satisfy the same Array specification (axioms 17–20);
+//! only the algebraic interface lets them be swapped after the access
+//! pattern is known. Measured: `n` declarations followed by `4n` lookups
+//! over `n` distinct identifiers — the paper's symbol-table access
+//! pattern, where lookups dominate.
+//!
+//! Expected shape: the linear array wins or ties at tiny sizes (no
+//! hashing overhead, cache-friendly), and loses by a growing factor as
+//! `n` grows past the bucket count — the crossover the paper warns can
+//! only be exploited if the representation was not frozen early.
+
+use adt_bench::workloads::{ident_names, Stream};
+use adt_structures::{BstArray, HashArray, Ident, LinearArray, ScopeArray};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn workload<A: ScopeArray<u32>>(names: &[Ident], seed: u64) -> u32 {
+    let mut arr = A::empty();
+    for (i, id) in names.iter().enumerate() {
+        arr.assign(id.clone(), i as u32);
+    }
+    let mut s = Stream::new(seed);
+    let mut acc = 0u32;
+    for _ in 0..names.len() * 4 {
+        let id = &names[s.below(names.len())];
+        if let Some(v) = arr.read(id) {
+            acc = acc.wrapping_add(*v);
+        }
+    }
+    acc
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("array_representations");
+    group
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900));
+
+    for &n in &[4usize, 16, 64, 256, 1024] {
+        let names: Vec<Ident> = ident_names(n)
+            .iter()
+            .map(|s| Ident::new(s.as_str()))
+            .collect();
+        group.throughput(Throughput::Elements((n * 5) as u64));
+        group.bench_with_input(BenchmarkId::new("hash", n), &names, |b, names| {
+            b.iter(|| workload::<HashArray<u32>>(std::hint::black_box(names), 1));
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &names, |b, names| {
+            b.iter(|| workload::<LinearArray<u32>>(std::hint::black_box(names), 1));
+        });
+        group.bench_with_input(BenchmarkId::new("bst", n), &names, |b, names| {
+            b.iter(|| workload::<BstArray<u32>>(std::hint::black_box(names), 1));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

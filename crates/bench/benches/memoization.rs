@@ -1,0 +1,95 @@
+//! TB-6 (ablation): ground-subterm memoization in the rewrite engine.
+//!
+//! Two workload shapes, measured separately because they answer in
+//! opposite directions:
+//!
+//! * **single-term** — one observer over one state, fresh cache: every
+//!   subterm is seen once, so memoization is pure overhead (groundness
+//!   checks + hashing of large subterms). Expect memo to *lose*.
+//! * **repeated-state** — many observers over one shared state (the
+//!   symbol-table access pattern: one table, many RETRIEVEs): the state's
+//!   subterms recur across queries, so the cache amortizes. Expect memo
+//!   to *win*, increasingly with query count.
+//!
+//! The point of the ablation is exactly this crossover: memoization is a
+//! workload decision, not a free win — which is why it is an opt-in
+//! constructor (`Rewriter::memoizing`) rather than the default.
+
+use adt_bench::workloads::queue_term;
+use adt_rewrite::Rewriter;
+use adt_structures::specs::queue_spec;
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let spec = queue_spec();
+    let sig = spec.sig();
+
+    let mut group = c.benchmark_group("memoization");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900));
+
+    // Shape 1: single term, fresh cache — the overhead case.
+    for &n in &[32usize, 128] {
+        let front = sig
+            .apply("FRONT", vec![queue_term(&spec, n, 0, 7)])
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("single_plain", n), &front, |b, t| {
+            let rw = Rewriter::new(&spec).with_fuel(1_000_000_000);
+            b.iter(|| rw.normalize(std::hint::black_box(t)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("single_memo", n), &front, |b, t| {
+            b.iter_batched(
+                || Rewriter::new(&spec).with_fuel(1_000_000_000).memoizing(),
+                |rw| rw.normalize(std::hint::black_box(t)).unwrap(),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+
+    // Shape 2: many observers over one shared state — the win case.
+    // A queue state with REMOVE history (so normalizing it takes real
+    // work), queried `queries` times.
+    for &queries in &[8usize, 32] {
+        let n = 64;
+        let state = queue_term(&spec, n, n / 2, 7);
+        let observations: Vec<_> = (0..queries)
+            .map(|k| {
+                let op = if k % 2 == 0 { "FRONT" } else { "IS_EMPTY?" };
+                sig.apply(op, vec![state.clone()]).unwrap()
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("queries_plain", queries),
+            &observations,
+            |b, obs| {
+                let rw = Rewriter::new(&spec).with_fuel(1_000_000_000);
+                b.iter(|| {
+                    obs.iter()
+                        .map(|t| rw.normalize(std::hint::black_box(t)).unwrap().size())
+                        .sum::<usize>()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("queries_memo", queries),
+            &observations,
+            |b, obs| {
+                b.iter_batched(
+                    || Rewriter::new(&spec).with_fuel(1_000_000_000).memoizing(),
+                    |rw| {
+                        obs.iter()
+                            .map(|t| rw.normalize(std::hint::black_box(t)).unwrap().size())
+                            .sum::<usize>()
+                    },
+                    BatchSize::SmallInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

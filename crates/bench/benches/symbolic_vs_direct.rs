@@ -1,0 +1,84 @@
+//! TB-1: "except for a significant loss in efficiency, the lack of an
+//! implementation can be made completely transparent to the user" (§5).
+//!
+//! The same compiler-like symbol-table trace is executed two ways:
+//!
+//! * **symbolic** — against the bare axioms, by term rewriting (the
+//!   paper's symbolic interpretation);
+//! * **direct** — against the real `SymbolTable` (stack of chained hash
+//!   arrays).
+//!
+//! The paper predicts direct execution wins by a large factor, and that
+//! the gap *grows* with trace length (rewriting cost grows with term
+//! size, the implementation's per-op cost is O(1) amortized).
+
+use adt_bench::workloads::{symtab_term, symtab_trace, SymOp};
+use adt_rewrite::Rewriter;
+use adt_structures::specs::symboltable_spec;
+use adt_structures::{AttrList, Ident, SymbolTable};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn run_direct(trace: &[SymOp]) -> usize {
+    let idents = ["ID_X", "ID_Y", "ID_Z"];
+    let mut st: SymbolTable = SymbolTable::init();
+    let attrs = AttrList::new().with("a", "1");
+    let mut hits = 0;
+    for op in trace {
+        match op {
+            SymOp::Enter => st.enter_block(),
+            SymOp::Leave => {
+                let _ = st.leave_block();
+            }
+            SymOp::Add(i) => st.add(Ident::new(idents[i % 3]), attrs.clone()),
+            SymOp::Retrieve(i) => {
+                if st.retrieve(&Ident::new(idents[i % 3])).is_ok() {
+                    hits += 1;
+                }
+            }
+        }
+    }
+    hits
+}
+
+fn bench(c: &mut Criterion) {
+    let spec = symboltable_spec();
+    let mut group = c.benchmark_group("symbolic_vs_direct");
+    group
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(200))
+        .measurement_time(std::time::Duration::from_millis(900));
+
+    for &len in &[16usize, 64, 256] {
+        let trace = symtab_trace(len, 8, 0xC0FFEE);
+        group.throughput(Throughput::Elements(len as u64));
+
+        group.bench_with_input(BenchmarkId::new("direct", len), &trace, |b, trace| {
+            b.iter(|| run_direct(std::hint::black_box(trace)));
+        });
+
+        let (state, observers) = symtab_term(&spec, &trace);
+        let rw = Rewriter::new(&spec).with_fuel(50_000_000);
+        group.bench_with_input(
+            BenchmarkId::new("symbolic", len),
+            &(state, observers),
+            |b, (state, observers)| {
+                b.iter(|| {
+                    let mut hits = 0usize;
+                    let state_nf = rw.normalize(std::hint::black_box(state)).unwrap();
+                    let _ = state_nf;
+                    for obs in observers {
+                        let nf = rw.normalize(obs).unwrap();
+                        if !nf.is_error() {
+                            hits += 1;
+                        }
+                    }
+                    hits
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

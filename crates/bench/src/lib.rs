@@ -1,0 +1,218 @@
+//! # adt-bench — workload generators for the benchmark harness
+//!
+//! The Criterion benches under `benches/` regenerate every measured row
+//! of EXPERIMENTS.md; this library holds the deterministic workload
+//! generators they share, so a bench and its corresponding test exercise
+//! identical operation sequences.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod workloads {
+    //! Deterministic pseudo-random workloads over symbol tables, arrays
+    //! and queues.
+
+    use adt_core::{Spec, Term};
+
+    /// One symbol-table operation of a compiler-like trace.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum SymOp {
+        /// Open a scope.
+        Enter,
+        /// Close a scope (generated only when one is open).
+        Leave,
+        /// Declare identifier `idx` in the current scope.
+        Add(usize),
+        /// Look the identifier up.
+        Retrieve(usize),
+    }
+
+    /// A deterministic splitmix64 stream.
+    #[derive(Debug, Clone)]
+    pub struct Stream(u64);
+
+    impl Stream {
+        /// Creates a stream from a seed.
+        pub fn new(seed: u64) -> Self {
+            Stream(seed)
+        }
+
+        /// Next raw value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Next value below `n`.
+        pub fn below(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+
+    /// Generates a compiler-like symbol-table trace: `len` operations,
+    /// roughly 50% ADD, 30% RETRIEVE, 10% ENTER, 10% LEAVE, drawn from
+    /// `idents` distinct identifiers. Block structure is kept well formed
+    /// (never leaves the outermost block).
+    pub fn symtab_trace(len: usize, idents: usize, seed: u64) -> Vec<SymOp> {
+        let mut s = Stream::new(seed);
+        let mut depth = 1usize;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            let roll = s.below(10);
+            let op = match roll {
+                0 => {
+                    depth += 1;
+                    SymOp::Enter
+                }
+                1 if depth > 1 => {
+                    depth -= 1;
+                    SymOp::Leave
+                }
+                2..=6 => SymOp::Add(s.below(idents)),
+                _ => SymOp::Retrieve(s.below(idents)),
+            };
+            out.push(op);
+        }
+        out
+    }
+
+    /// Builds the ground Symboltable *term* corresponding to the
+    /// state-building prefix of a trace (ENTER/ADD/LEAVE; RETRIEVE ops are
+    /// returned separately as observer applications on the final state).
+    ///
+    /// The specification's sample identifiers stand in for the trace's
+    /// identifier indices (reduced modulo 3) and `ATTR_1` is used for
+    /// every declaration — the shape of the term, not the payload, is
+    /// what drives the rewriting cost.
+    pub fn symtab_term(spec: &Spec, trace: &[SymOp]) -> (Term, Vec<Term>) {
+        let sig = spec.sig();
+        let idents = ["ID_X", "ID_Y", "ID_Z"];
+        let mut state = sig.apply("INIT", vec![]).expect("INIT exists");
+        let mut depth = 1usize;
+        let mut observers = Vec::new();
+        let attr = sig.apply("ATTR_1", vec![]).expect("ATTR_1 exists");
+        for op in trace {
+            match op {
+                SymOp::Enter => {
+                    depth += 1;
+                    state = sig.apply("ENTERBLOCK", vec![state]).expect("well-sorted");
+                }
+                SymOp::Leave => {
+                    if depth > 1 {
+                        depth -= 1;
+                        state = sig.apply("LEAVEBLOCK", vec![state]).expect("well-sorted");
+                    }
+                }
+                SymOp::Add(i) => {
+                    let id = sig.apply(idents[i % 3], vec![]).expect("ident exists");
+                    state = sig
+                        .apply("ADD", vec![state, id, attr.clone()])
+                        .expect("well-sorted");
+                }
+                SymOp::Retrieve(i) => {
+                    let id = sig.apply(idents[i % 3], vec![]).expect("ident exists");
+                    observers.push((id, ()));
+                }
+            }
+        }
+        let observers = observers
+            .into_iter()
+            .map(|(id, ())| {
+                sig.apply("RETRIEVE", vec![state.clone(), id])
+                    .expect("well-sorted")
+            })
+            .collect();
+        (state, observers)
+    }
+
+    /// Builds a ground Queue term of `adds` enqueues followed by
+    /// `removes` dequeues.
+    pub fn queue_term(spec: &Spec, adds: usize, removes: usize, seed: u64) -> Term {
+        let sig = spec.sig();
+        let items = ["A", "B", "C"];
+        let mut s = Stream::new(seed);
+        let mut t = sig.apply("NEW", vec![]).expect("NEW exists");
+        for _ in 0..adds {
+            let item = sig.apply(items[s.below(3)], vec![]).expect("item exists");
+            t = sig.apply("ADD", vec![t, item]).expect("well-sorted");
+        }
+        for _ in 0..removes {
+            t = sig.apply("REMOVE", vec![t]).expect("well-sorted");
+        }
+        t
+    }
+
+    /// Identifier names for array benchmarks: `v0`, `v1`, ….
+    pub fn ident_names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("v{i}")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::workloads::*;
+    use adt_rewrite::Rewriter;
+    use adt_structures::specs::{queue_spec, symboltable_spec};
+
+    #[test]
+    fn streams_are_deterministic() {
+        let mut a = Stream::new(7);
+        let mut b = Stream::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Stream::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn traces_keep_block_structure_well_formed() {
+        let trace = symtab_trace(500, 10, 3);
+        assert_eq!(trace.len(), 500);
+        let mut depth = 1i64;
+        for op in &trace {
+            match op {
+                SymOp::Enter => depth += 1,
+                SymOp::Leave => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 1);
+        }
+    }
+
+    #[test]
+    fn symtab_terms_normalize() {
+        let spec = symboltable_spec();
+        let trace = symtab_trace(60, 5, 11);
+        let (state, observers) = symtab_term(&spec, &trace);
+        let rw = Rewriter::new(&spec);
+        // The state normalizes to a constructor term (LEAVEBLOCKs fold away).
+        let state_nf = rw.normalize(&state).unwrap();
+        assert!(state_nf.is_constructor_term(spec.sig()));
+        for obs in observers {
+            let nf = rw.normalize(&obs).unwrap();
+            assert!(nf.is_constructor_term(spec.sig()) || nf.is_error());
+        }
+    }
+
+    #[test]
+    fn queue_terms_normalize_to_values_or_error() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        for (adds, removes) in [(0, 0), (5, 2), (3, 5), (20, 20)] {
+            let t = queue_term(&spec, adds, removes, 42);
+            let nf = rw.normalize(&t).unwrap();
+            assert!(nf.is_constructor_term(spec.sig()));
+        }
+    }
+
+    #[test]
+    fn ident_names_are_distinct() {
+        let names = ident_names(100);
+        let set: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(set.len(), 100);
+    }
+}

@@ -1,0 +1,150 @@
+//! Constructor/derived-operation classification.
+//!
+//! The split between *constructors* (`NEW`, `ADD`) and *derived*
+//! operations (`FRONT`, `REMOVE`, `IS_EMPTY?`) drives both completeness
+//! checking and ground-term generation. Front ends usually mark it
+//! explicitly; when they do not, [`infer_constructors`] recovers the
+//! standard heuristic split, and [`classification_warnings`] cross-checks
+//! an explicit marking against the axioms.
+
+use adt_core::{OpId, Spec};
+
+/// Infers which operations should be constructors: operations whose range
+/// is a sort of interest and that are *not defined* by any axiom (never
+/// appear at the head of a left-hand side).
+///
+/// This matches the usual reading of the paper's specifications: `NEW` and
+/// `ADD` have no axioms of their own, while `REMOVE` — which also ranges
+/// over Queue — is pinned down case by case.
+pub fn infer_constructors(spec: &Spec) -> Vec<OpId> {
+    spec.sig()
+        .op_ids()
+        .filter(|&op| {
+            let info = spec.sig().op(op);
+            !info.is_builtin() && spec.is_toi(info.result()) && spec.axioms_for(op).next().is_none()
+        })
+        .collect()
+}
+
+/// Cross-checks the explicit constructor marking of a specification
+/// against its axioms, returning human-readable warnings:
+///
+/// * a marked constructor that has defining axioms (suspicious — defined
+///   operations are normally not generators);
+/// * an unmarked operation ranging over a sort of interest with no
+///   defining axioms (it can produce values the axioms never mention).
+pub fn classification_warnings(spec: &Spec) -> Vec<String> {
+    let mut warnings = Vec::new();
+    for op in spec.sig().op_ids() {
+        let info = spec.sig().op(op);
+        if info.is_builtin() {
+            continue;
+        }
+        let has_axioms = spec.axioms_for(op).next().is_some();
+        if info.is_constructor() && has_axioms {
+            warnings.push(format!(
+                "operation `{}` is marked as a constructor but has defining axioms; \
+                 constructors are normally free generators",
+                info.name()
+            ));
+        }
+        if !info.is_constructor() && spec.is_toi(info.result()) && !has_axioms {
+            warnings.push(format!(
+                "operation `{}` ranges over the defined sort `{}` but has no defining \
+                 axioms and is not marked as a constructor; its results are unspecified",
+                info.name(),
+                spec.sig().sort(info.result()).name()
+            ));
+        }
+    }
+    warnings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_core::{SpecBuilder, Term};
+
+    fn queue_like(mark_ctors: bool, axioms_for_remove: bool) -> Spec {
+        let mut b = SpecBuilder::new("Queue");
+        let queue = b.sort("Queue");
+        let item = b.param_sort("Item");
+        b.ctor("A", [], item);
+        let new = if mark_ctors {
+            b.ctor("NEW", [], queue)
+        } else {
+            // Need at least one marked constructor for the spec to build;
+            // mark NEW only.
+            b.ctor("NEW", [], queue)
+        };
+        let add = if mark_ctors {
+            b.ctor("ADD", [queue, item], queue)
+        } else {
+            b.op("ADD", [queue, item], queue)
+        };
+        let remove = b.op("REMOVE", [queue], queue);
+        let q = Term::Var(b.var("q", queue));
+        let i = Term::Var(b.var("i", item));
+        if axioms_for_remove {
+            b.axiom("r1", b.app(remove, [b.app(new, [])]), Term::Error(queue));
+            b.axiom("r2", b.app(remove, [b.app(add, [q.clone(), i.clone()])]), q);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn inference_finds_undefined_toi_ops() {
+        let spec = queue_like(false, true);
+        let inferred = infer_constructors(&spec);
+        let names: Vec<&str> = inferred
+            .iter()
+            .map(|&op| spec.sig().op(op).name())
+            .collect();
+        // NEW and ADD have no axioms; REMOVE does.
+        assert_eq!(names, vec!["NEW", "ADD"]);
+    }
+
+    #[test]
+    fn unmarked_generator_is_warned_about() {
+        let spec = queue_like(false, true);
+        let warnings = classification_warnings(&spec);
+        assert!(warnings.iter().any(|w| w.contains("`ADD`")), "{warnings:?}");
+        assert!(!warnings.iter().any(|w| w.contains("`REMOVE`")));
+    }
+
+    #[test]
+    fn correctly_marked_spec_has_no_warnings() {
+        let spec = queue_like(true, true);
+        assert!(classification_warnings(&spec).is_empty());
+    }
+
+    #[test]
+    fn constructor_with_axioms_is_warned_about() {
+        let mut b = SpecBuilder::new("Odd");
+        let s = b.sort("S");
+        let c = b.ctor("C", [], s);
+        let d = b.ctor("D", [], s);
+        // A "constructor" with a defining axiom: C = D.
+        b.axiom("c1", b.app(c, []), b.app(d, []));
+        let spec = b.build().unwrap();
+        let warnings = classification_warnings(&spec);
+        assert!(warnings.iter().any(|w| w.contains("`C`")), "{warnings:?}");
+    }
+
+    #[test]
+    fn remove_without_axioms_and_unmarked_is_flagged() {
+        let spec = queue_like(true, false);
+        let warnings = classification_warnings(&spec);
+        assert!(
+            warnings.iter().any(|w| w.contains("`REMOVE`")),
+            "{warnings:?}"
+        );
+        // And inference would (rightly, per the heuristic) call it a generator.
+        let inferred = infer_constructors(&spec);
+        let names: Vec<&str> = inferred
+            .iter()
+            .map(|&op| spec.sig().op(op).name())
+            .collect();
+        assert!(names.contains(&"REMOVE"));
+    }
+}

@@ -1,0 +1,427 @@
+//! Consistency checking.
+//!
+//! "If any two of these [statements] are contradictory, the axiomatization
+//! is inconsistent." (paper, §3.) Operationally: the axioms must never
+//! rewrite one ground term to two distinguishable values (`true` and
+//! `false`, two different constructor terms, `error` and a non-error).
+//!
+//! Two complementary analyses are used:
+//!
+//! 1. **Critical-pair analysis** (via [`adt_rewrite::critical_pairs`]):
+//!    every overlap of two left-hand sides must join. A diverged pair with
+//!    two distinguishable normal forms is a proof of inconsistency.
+//! 2. **Randomized ground probing**: sample ground terms, enumerate every
+//!    one-step reduct (any rule at any position), normalize each, and
+//!    compare. This catches contradictions that only manifest on
+//!    particular value combinations.
+
+use std::collections::HashSet;
+
+use adt_core::{display, match_pattern, OpId, Signature, SortId, Spec, Term};
+use adt_rewrite::{critical_pairs, PairStatus, Rewriter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Evidence of an inconsistency: one term, two distinguishable values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Contradiction {
+    /// The term that reduces both ways.
+    pub peak: Term,
+    /// First normal form.
+    pub left_nf: Term,
+    /// Second normal form.
+    pub right_nf: Term,
+    /// Where the evidence came from (`"critical-pair"` or `"ground-probe"`).
+    pub source: &'static str,
+}
+
+/// Overall verdict of a consistency check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConsistencyVerdict {
+    /// All critical pairs join and no probe diverged: no inconsistency is
+    /// derivable by the analyses performed.
+    Consistent,
+    /// A contradiction was exhibited.
+    Inconsistent,
+    /// No contradiction was found, but some critical pairs neither joined
+    /// nor produced distinguishable values (e.g. symbolic divergence), so
+    /// consistency could not be confirmed.
+    Unknown,
+}
+
+/// Configuration of the randomized ground probe.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeConfig {
+    /// Number of random ground terms to sample.
+    pub samples: usize,
+    /// Maximum constructor depth of sampled terms.
+    pub max_depth: usize,
+    /// RNG seed (probes are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Default for ProbeConfig {
+    fn default() -> Self {
+        ProbeConfig {
+            samples: 200,
+            max_depth: 5,
+            seed: 0x0AD7_1977,
+        }
+    }
+}
+
+/// The result of a consistency check.
+#[derive(Debug, Clone)]
+pub struct ConsistencyReport {
+    verdict: ConsistencyVerdict,
+    contradictions: Vec<Contradiction>,
+    unresolved_pairs: usize,
+    pairs_checked: usize,
+    probes_run: usize,
+    /// Specification copy the evidence terms are rendered against.
+    spec: Spec,
+}
+
+impl ConsistencyReport {
+    /// The verdict.
+    pub fn verdict(&self) -> &ConsistencyVerdict {
+        &self.verdict
+    }
+
+    /// Whether the specification passed.
+    pub fn is_consistent(&self) -> bool {
+        self.verdict == ConsistencyVerdict::Consistent
+    }
+
+    /// All contradictions found.
+    pub fn contradictions(&self) -> &[Contradiction] {
+        &self.contradictions
+    }
+
+    /// Number of critical pairs examined.
+    pub fn pairs_checked(&self) -> usize {
+        self.pairs_checked
+    }
+
+    /// Number of critical pairs that neither joined nor refuted.
+    pub fn unresolved_pairs(&self) -> usize {
+        self.unresolved_pairs
+    }
+
+    /// Number of ground probes executed.
+    pub fn probes_run(&self) -> usize {
+        self.probes_run
+    }
+
+    /// The specification the evidence is rendered against.
+    pub fn spec(&self) -> &Spec {
+        &self.spec
+    }
+
+    /// Human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "consistency: {:?} ({} critical pairs, {} unresolved, {} probes)\n",
+            self.verdict, self.pairs_checked, self.unresolved_pairs, self.probes_run
+        );
+        for c in &self.contradictions {
+            out.push_str(&format!(
+                "  contradiction [{}]: {} = {} but also {}\n",
+                c.source,
+                display::term(self.spec.sig(), &c.peak),
+                display::term(self.spec.sig(), &c.left_nf),
+                display::term(self.spec.sig(), &c.right_nf),
+            ));
+        }
+        out
+    }
+}
+
+/// Whether two normal forms are *distinguishable* — definitely denoting
+/// different abstract values. Distinct ground constructor terms are
+/// distinguishable; so are `error` vs a non-error constructor term. Stuck
+/// symbolic terms are not (they might still be equal).
+fn distinguishable(sig: &Signature, a: &Term, b: &Term) -> bool {
+    if a == b {
+        return false;
+    }
+    let ground_value = |t: &Term| t.is_constructor_term(sig);
+    ground_value(a) && ground_value(b)
+}
+
+/// Checks the consistency of a specification with the default probe
+/// configuration.
+pub fn check_consistency(spec: &Spec) -> ConsistencyReport {
+    check_consistency_with(spec, &ProbeConfig::default())
+}
+
+/// Checks the consistency of a specification.
+pub fn check_consistency_with(spec: &Spec, probe: &ProbeConfig) -> ConsistencyReport {
+    let mut contradictions = Vec::new();
+    let mut unresolved = 0;
+
+    // Phase 1: critical pairs.
+    let analysis = critical_pairs(spec).expect("critical-pair analysis on a valid spec");
+    let pairs_checked = analysis.pairs.len();
+    for pair in &analysis.pairs {
+        match &pair.status {
+            PairStatus::Joinable(_) => {}
+            PairStatus::Diverged { left_nf, right_nf } => {
+                if distinguishable(analysis.spec.sig(), left_nf, right_nf) {
+                    contradictions.push(Contradiction {
+                        peak: pair.peak.clone(),
+                        left_nf: left_nf.clone(),
+                        right_nf: right_nf.clone(),
+                        source: "critical-pair",
+                    });
+                } else {
+                    unresolved += 1;
+                }
+            }
+            PairStatus::Unknown { .. } => unresolved += 1,
+        }
+    }
+
+    // Phase 2: randomized ground probing.
+    let rw = Rewriter::new(spec);
+    let mut rng = StdRng::seed_from_u64(probe.seed);
+    let mut probes_run = 0;
+    let observers: Vec<OpId> = spec.derived_ops().collect();
+    if !observers.is_empty() {
+        for _ in 0..probe.samples {
+            let op = observers[rng.gen_range(0..observers.len())];
+            let Some(term) = random_application(spec.sig(), op, probe.max_depth, &mut rng) else {
+                continue;
+            };
+            probes_run += 1;
+            if let Some(c) = probe_divergence(&rw, spec.sig(), &term) {
+                contradictions.push(c);
+            }
+        }
+    }
+
+    // Deduplicate contradictions by peak.
+    let mut seen = HashSet::new();
+    contradictions.retain(|c| seen.insert(c.peak.clone()));
+
+    let verdict = if !contradictions.is_empty() {
+        ConsistencyVerdict::Inconsistent
+    } else if unresolved > 0 {
+        ConsistencyVerdict::Unknown
+    } else {
+        ConsistencyVerdict::Consistent
+    };
+
+    ConsistencyReport {
+        verdict,
+        contradictions,
+        unresolved_pairs: unresolved,
+        pairs_checked,
+        probes_run,
+        spec: analysis.spec,
+    }
+}
+
+/// Builds a random ground application of `op` to constructor terms.
+/// Returns `None` if some argument sort has no constructors.
+pub fn random_application(
+    sig: &Signature,
+    op: OpId,
+    max_depth: usize,
+    rng: &mut StdRng,
+) -> Option<Term> {
+    let args: Option<Vec<Term>> = sig
+        .op(op)
+        .args()
+        .iter()
+        .map(|&s| random_ctor_term(sig, s, max_depth, rng))
+        .collect();
+    Some(Term::App(op, args?))
+}
+
+/// Builds a random ground constructor term of `sort` with depth at most
+/// `max_depth`. Returns `None` if the sort has no constructors (or none
+/// usable within the depth budget).
+pub fn random_ctor_term(
+    sig: &Signature,
+    sort: SortId,
+    max_depth: usize,
+    rng: &mut StdRng,
+) -> Option<Term> {
+    let ctors: Vec<OpId> = sig.constructors_of(sort).collect();
+    if ctors.is_empty() {
+        return None;
+    }
+    let usable: Vec<OpId> = if max_depth <= 1 {
+        let nullary: Vec<OpId> = ctors
+            .iter()
+            .copied()
+            .filter(|&c| sig.op(c).arity() == 0)
+            .collect();
+        if nullary.is_empty() {
+            return None;
+        }
+        nullary
+    } else {
+        ctors
+    };
+    let ctor = usable[rng.gen_range(0..usable.len())];
+    let args: Option<Vec<Term>> = sig
+        .op(ctor)
+        .args()
+        .iter()
+        .map(|&s| random_ctor_term(sig, s, max_depth.saturating_sub(1), rng))
+        .collect();
+    Some(Term::App(ctor, args?))
+}
+
+/// Enumerates every one-step reduct of `term` (any rule, any position),
+/// normalizes each, and reports the first distinguishable disagreement.
+fn probe_divergence(rw: &Rewriter<'_>, sig: &Signature, term: &Term) -> Option<Contradiction> {
+    let mut normal_forms: Vec<Term> = Vec::new();
+    for (pos, sub) in term.subterms() {
+        if let Term::App(op, _) = sub {
+            for rule in rw.rules().for_head(*op) {
+                if let Some(subst) = match_pattern(rule.lhs(), sub) {
+                    let contractum = subst.apply(rule.rhs());
+                    let rewritten = term
+                        .replace_at(&pos, contractum)
+                        .expect("position from subterms()");
+                    if let Ok(nf) = rw.normalize(&rewritten) {
+                        normal_forms.push(nf);
+                    }
+                }
+            }
+        }
+    }
+    for i in 0..normal_forms.len() {
+        for j in (i + 1)..normal_forms.len() {
+            if distinguishable(sig, &normal_forms[i], &normal_forms[j]) {
+                return Some(Contradiction {
+                    peak: term.clone(),
+                    left_nf: normal_forms[i].clone(),
+                    right_nf: normal_forms[j].clone(),
+                    source: "ground-probe",
+                });
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_core::SpecBuilder;
+
+    fn consistent_spec() -> Spec {
+        let mut b = SpecBuilder::new("Nat");
+        let s = b.sort("Nat");
+        let zero = b.ctor("ZERO", [], s);
+        let succ = b.ctor("SUCC", [s], s);
+        let is_zero = b.op("IS_ZERO?", [s], b.bool_sort());
+        let x = Term::Var(b.var("x", s));
+        let tt = b.tt();
+        let ff = b.ff();
+        b.axiom("z1", b.app(is_zero, [b.app(zero, [])]), tt);
+        b.axiom("z2", b.app(is_zero, [b.app(succ, [x])]), ff);
+        b.build().unwrap()
+    }
+
+    fn inconsistent_spec() -> Spec {
+        // F(x) = C for all x, but F(C) = D: contradictory on F(C).
+        let mut b = SpecBuilder::new("Bad");
+        let s = b.sort("S");
+        let c = b.ctor("C", [], s);
+        let d = b.ctor("D", [], s);
+        let f = b.op("F", [s], s);
+        let x = Term::Var(b.var("x", s));
+        b.axiom("general", b.app(f, [x]), b.app(c, []));
+        b.axiom("specific", b.app(f, [b.app(c, [])]), b.app(d, []));
+        let _ = d;
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn consistent_spec_passes() {
+        let report = check_consistency(&consistent_spec());
+        assert!(report.is_consistent(), "{}", report.summary());
+        assert!(report.contradictions().is_empty());
+        assert!(report.probes_run() > 0);
+    }
+
+    #[test]
+    fn contradiction_is_found_by_critical_pairs() {
+        let report = check_consistency(&inconsistent_spec());
+        assert_eq!(report.verdict(), &ConsistencyVerdict::Inconsistent);
+        assert!(report
+            .contradictions()
+            .iter()
+            .any(|c| c.source == "critical-pair" || c.source == "ground-probe"));
+        let summary = report.summary();
+        assert!(summary.contains("contradiction"), "{summary}");
+    }
+
+    #[test]
+    fn ground_probe_finds_value_specific_contradictions() {
+        // Two axioms that overlap only at a specific nested value:
+        // G(SUCC(x)) = ZERO and G(SUCC(ZERO)) = SUCC(ZERO).
+        let mut b = SpecBuilder::new("Probe");
+        let s = b.sort("Nat");
+        let zero = b.ctor("ZERO", [], s);
+        let succ = b.ctor("SUCC", [s], s);
+        let g = b.op("G", [s], s);
+        let x = Term::Var(b.var("x", s));
+        b.axiom("g1", b.app(g, [b.app(succ, [x])]), b.app(zero, []));
+        b.axiom(
+            "g2",
+            b.app(g, [b.app(succ, [b.app(zero, [])])]),
+            b.app(succ, [b.app(zero, [])]),
+        );
+        let spec = b.build().unwrap();
+        let report = check_consistency(&spec);
+        assert_eq!(report.verdict(), &ConsistencyVerdict::Inconsistent);
+    }
+
+    #[test]
+    fn probe_config_is_deterministic() {
+        let spec = consistent_spec();
+        let cfg = ProbeConfig {
+            samples: 50,
+            max_depth: 4,
+            seed: 7,
+        };
+        let r1 = check_consistency_with(&spec, &cfg);
+        let r2 = check_consistency_with(&spec, &cfg);
+        assert_eq!(r1.probes_run(), r2.probes_run());
+        assert_eq!(r1.verdict(), r2.verdict());
+    }
+
+    #[test]
+    fn random_ctor_terms_respect_depth() {
+        let spec = consistent_spec();
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = spec.sig().find_sort("Nat").unwrap();
+        for _ in 0..100 {
+            let t = random_ctor_term(spec.sig(), s, 4, &mut rng).unwrap();
+            assert!(t.depth() <= 4);
+            assert!(t.is_constructor_term(spec.sig()));
+        }
+    }
+
+    #[test]
+    fn sorts_without_constructors_yield_no_terms() {
+        let mut b = SpecBuilder::new("P");
+        let s = b.sort("S");
+        let item = b.param_sort("Item");
+        let mk = b.ctor("MK", [item], s);
+        let _ = mk;
+        let spec = b.build().unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        // S's only constructor needs an Item, and Item has none.
+        let sid = spec.sig().find_sort("S").unwrap();
+        assert!(random_ctor_term(spec.sig(), sid, 4, &mut rng).is_none());
+        let iid = spec.sig().find_sort("Item").unwrap();
+        assert!(random_ctor_term(spec.sig(), iid, 4, &mut rng).is_none());
+    }
+}

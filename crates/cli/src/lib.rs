@@ -1,0 +1,418 @@
+//! # adt-cli — the `adt` command-line tool
+//!
+//! A small driver over the whole toolchain, for working with `.adt`
+//! specification files from a shell:
+//!
+//! ```text
+//! adt check <file>                 parse + completeness + consistency
+//! adt fmt <file>                   print the canonical form
+//! adt eval <file> <term>           normalize a term of the specification
+//! adt trace <file> <term>          normalize, showing every rewrite step
+//! adt prove <file> <lhs> = <rhs>   prove an equation (with case analysis)
+//! ```
+//!
+//! The command logic lives in this library (returning the output as a
+//! string) so it is directly testable; the binary is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod repl;
+
+use std::fmt::Write as _;
+use std::fs;
+
+use adt_check::{
+    check_completeness, check_consistency, classification_warnings, overlap_warnings,
+    recursion_warnings,
+};
+use adt_core::{display, Spec};
+use adt_dsl::{parse, parse_term, print_spec};
+use adt_rewrite::{Proof, Rewriter};
+
+/// The outcome of running a command: what to print, and the exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outcome {
+    /// Text for stdout.
+    pub output: String,
+    /// Process exit code (0 = success; 1 = the check failed; 2 = usage or
+    /// input error).
+    pub code: i32,
+}
+
+impl Outcome {
+    fn ok(output: String) -> Self {
+        Outcome { output, code: 0 }
+    }
+
+    fn fail(output: String) -> Self {
+        Outcome { output, code: 1 }
+    }
+
+    fn usage(output: String) -> Self {
+        Outcome { output, code: 2 }
+    }
+}
+
+/// The usage banner.
+pub const USAGE: &str = "usage:
+  adt check <file.adt>                 parse and run the mechanical checks
+  adt fmt <file.adt>                   print the canonical form
+  adt eval <file.adt> <term>           normalize a term
+  adt trace <file.adt> <term>          normalize, printing the derivation
+  adt prove <file.adt> <lhs> = <rhs>   prove an equation by rewriting
+  adt repl <file.adt>                  interactive symbolic interpretation
+";
+
+/// Runs the tool on already-split arguments (without the program name).
+pub fn run(args: &[String]) -> Outcome {
+    match args {
+        [] => Outcome::usage(USAGE.to_owned()),
+        [cmd, rest @ ..] => match cmd.as_str() {
+            "check" => with_file(rest, 0, |spec, _| cmd_check(spec)),
+            "fmt" => with_file(rest, 0, |spec, _| Outcome::ok(print_spec(spec))),
+            "eval" => with_file(rest, 1, |spec, extra| cmd_eval(spec, &extra[0], false)),
+            "trace" => with_file(rest, 1, |spec, extra| cmd_eval(spec, &extra[0], true)),
+            "prove" => cmd_prove(rest),
+            "help" | "--help" | "-h" => Outcome::ok(USAGE.to_owned()),
+            other => Outcome::usage(format!("unknown command `{other}`\n{USAGE}")),
+        },
+    }
+}
+
+/// Loads the `.adt` file named by `args[0]`, requires exactly
+/// `extra_args` further arguments, and hands both to `f`.
+fn with_file(
+    args: &[String],
+    extra_args: usize,
+    f: impl FnOnce(&Spec, &[String]) -> Outcome,
+) -> Outcome {
+    if args.len() != extra_args + 1 {
+        return Outcome::usage(USAGE.to_owned());
+    }
+    let path = &args[0];
+    let source = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => return Outcome::usage(format!("cannot read `{path}`: {e}\n")),
+    };
+    match parse(&source) {
+        Ok(spec) => f(&spec, &args[1..]),
+        Err(diags) => Outcome::fail(diags.render(&source)),
+    }
+}
+
+fn cmd_check(spec: &Spec) -> Outcome {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: {} sort(s) of interest, {} operation(s), {} axiom(s)",
+        spec.name(),
+        spec.tois().len(),
+        spec.sig().op_count(),
+        spec.axioms().len()
+    );
+    let mut failed = false;
+
+    let completeness = check_completeness(spec);
+    if completeness.is_sufficiently_complete() {
+        let _ = writeln!(out, "sufficiently complete: yes");
+    } else {
+        failed = true;
+        let _ = writeln!(out, "sufficiently complete: NO");
+        for line in completeness.prompts().lines() {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+
+    let consistency = check_consistency(spec);
+    if consistency.is_consistent() {
+        let _ = writeln!(
+            out,
+            "consistent: yes ({} critical pairs, {} probes)",
+            consistency.pairs_checked(),
+            consistency.probes_run()
+        );
+    } else {
+        failed = true;
+        let _ = writeln!(out, "consistent: NO");
+        for line in consistency.summary().lines().skip(1) {
+            let _ = writeln!(out, "  {line}");
+        }
+    }
+
+    for w in classification_warnings(spec) {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    for w in overlap_warnings(spec) {
+        let _ = writeln!(out, "warning: {w}");
+    }
+    for w in recursion_warnings(spec) {
+        let _ = writeln!(out, "warning: {w}");
+    }
+
+    if failed {
+        Outcome::fail(out)
+    } else {
+        Outcome::ok(out)
+    }
+}
+
+fn cmd_eval(spec: &Spec, term_src: &str, trace: bool) -> Outcome {
+    let term = match parse_term(spec, term_src) {
+        Ok(t) => t,
+        Err(diags) => return Outcome::fail(diags.render(term_src)),
+    };
+    let rw = Rewriter::new(spec);
+    if trace {
+        match rw.normalize_traced(&term) {
+            Ok((nf, trace)) => {
+                let mut out = trace.render(spec.sig()).to_string();
+                let _ = writeln!(out, "normal form: {}", display::term(spec.sig(), &nf));
+                Outcome::ok(out)
+            }
+            Err(e) => Outcome::fail(format!("{e}\n")),
+        }
+    } else {
+        match rw.normalize_full(&term) {
+            Ok(norm) => Outcome::ok(format!(
+                "{}   ({} step(s))\n",
+                display::term(spec.sig(), &norm.term),
+                norm.steps
+            )),
+            Err(e) => Outcome::fail(format!("{e}\n")),
+        }
+    }
+}
+
+fn cmd_prove(args: &[String]) -> Outcome {
+    // adt prove <file> <lhs> = <rhs>
+    if args.len() != 4 || args[2] != "=" {
+        return Outcome::usage(USAGE.to_owned());
+    }
+    let (file, lhs_src, rhs_src) = (&args[0], &args[1], &args[3]);
+    let source = match fs::read_to_string(file) {
+        Ok(s) => s,
+        Err(e) => return Outcome::usage(format!("cannot read `{file}`: {e}\n")),
+    };
+    let spec = match parse(&source) {
+        Ok(s) => s,
+        Err(diags) => return Outcome::fail(diags.render(&source)),
+    };
+    let lhs = match parse_term(&spec, lhs_src) {
+        Ok(t) => t,
+        Err(diags) => return Outcome::fail(diags.render(lhs_src)),
+    };
+    let rhs = match parse_term(&spec, rhs_src) {
+        Ok(t) => t,
+        Err(diags) => return Outcome::fail(diags.render(rhs_src)),
+    };
+    let rw = Rewriter::new(&spec);
+    match rw.prove_equal(&lhs, &rhs, 8) {
+        Ok(Proof::Proved { cases }) => Outcome::ok(format!("proved ({cases} case(s))\n")),
+        Ok(Proof::Undecided {
+            assumptions,
+            lhs_nf,
+            rhs_nf,
+        }) => {
+            let mut out = String::from("NOT proved\n");
+            if !assumptions.is_empty() {
+                let _ = writeln!(out, "under the assumptions:");
+                for (t, b) in &assumptions {
+                    let _ = writeln!(out, "  {} = {b}", display::term(spec.sig(), t));
+                }
+            }
+            let _ = writeln!(
+                out,
+                "left side normalizes to:  {}",
+                display::term(spec.sig(), &lhs_nf)
+            );
+            let _ = writeln!(
+                out,
+                "right side normalizes to: {}",
+                display::term(spec.sig(), &rhs_nf)
+            );
+            Outcome::fail(out)
+        }
+        Err(e) => Outcome::fail(format!("{e}\n")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn fixture(name: &str, contents: &str) -> PathBuf {
+        let mut path = std::env::temp_dir();
+        path.push(format!("adt_cli_test_{}_{name}.adt", std::process::id()));
+        fs::write(&path, contents).expect("temp file is writable");
+        path
+    }
+
+    const QUEUE: &str = r#"
+type Queue
+param Item
+ops
+  NEW: -> Queue ctor
+  ADD: Queue, Item -> Queue ctor
+  FRONT: Queue -> Item
+  REMOVE: Queue -> Queue
+  IS_EMPTY?: Queue -> Bool
+  A: -> Item ctor
+  B: -> Item ctor
+vars
+  q: Queue
+  i: Item
+axioms
+  [1] IS_EMPTY?(NEW) = true
+  [2] IS_EMPTY?(ADD(q, i)) = false
+  [3] FRONT(NEW) = error
+  [4] FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+  [5] REMOVE(NEW) = error
+  [6] REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), i)
+end
+"#;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = run(&[]);
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("usage:"));
+    }
+
+    #[test]
+    fn unknown_command_prints_usage() {
+        let out = run(&args(&["frobnicate"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("unknown command"));
+    }
+
+    #[test]
+    fn check_passes_on_a_good_file() {
+        let path = fixture("good", QUEUE);
+        let out = run(&args(&["check", path.to_str().unwrap()]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("sufficiently complete: yes"));
+        assert!(out.output.contains("consistent: yes"));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_fails_on_an_incomplete_file() {
+        let incomplete: String = QUEUE
+            .lines()
+            .filter(|l| !l.contains("[4]"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let path = fixture("incomplete", &incomplete);
+        let out = run(&args(&["check", path.to_str().unwrap()]));
+        assert_eq!(out.code, 1);
+        assert!(out.output.contains("sufficiently complete: NO"));
+        assert!(out.output.contains("FRONT(ADD("), "{}", out.output);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_reports_parse_errors_with_carets() {
+        let path = fixture("broken", "type Q\nops\n  F: Zorp -> Q\nend");
+        let out = run(&args(&["check", path.to_str().unwrap()]));
+        assert_eq!(out.code, 1);
+        assert!(out.output.contains("unknown sort `Zorp`"));
+        assert!(out.output.contains('^'));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn missing_file_is_a_usage_error() {
+        let out = run(&args(&["check", "/no/such/file.adt"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("cannot read"));
+    }
+
+    #[test]
+    fn fmt_round_trips() {
+        let path = fixture("fmt", QUEUE);
+        let out = run(&args(&["fmt", path.to_str().unwrap()]));
+        assert_eq!(out.code, 0);
+        assert!(out.output.contains("type Queue"));
+        assert!(out.output.contains("[4] FRONT(ADD(q, i)) ="));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn eval_normalizes_terms() {
+        let path = fixture("eval", QUEUE);
+        let out = run(&args(&[
+            "eval",
+            path.to_str().unwrap(),
+            "FRONT(ADD(ADD(NEW, A), B))",
+        ]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.starts_with("A "), "{}", out.output);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn eval_reports_bad_terms() {
+        let path = fixture("evalbad", QUEUE);
+        let out = run(&args(&[
+            "eval",
+            path.to_str().unwrap(),
+            "FRONT(APPEND(NEW))",
+        ]));
+        assert_eq!(out.code, 1);
+        assert!(out.output.contains("unknown operation `APPEND`"));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn trace_shows_the_derivation() {
+        let path = fixture("trace", QUEUE);
+        let out = run(&args(&[
+            "trace",
+            path.to_str().unwrap(),
+            "REMOVE(ADD(NEW, A))",
+        ]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("=[6]=>"), "{}", out.output);
+        assert!(out.output.contains("normal form: NEW"));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn prove_closes_a_symbolic_equation() {
+        let path = fixture("prove", QUEUE);
+        let out = run(&args(&[
+            "prove",
+            path.to_str().unwrap(),
+            "FRONT(ADD(q, i))",
+            "=",
+            "if IS_EMPTY?(q) then i else FRONT(q)",
+        ]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("proved"));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn prove_reports_failures_with_normal_forms() {
+        let path = fixture("provebad", QUEUE);
+        let out = run(&args(&["prove", path.to_str().unwrap(), "A", "=", "B"]));
+        assert_eq!(out.code, 1);
+        assert!(out.output.contains("NOT proved"));
+        assert!(out.output.contains("left side normalizes to:  A"));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn prove_usage_requires_equals_sign() {
+        let path = fixture("proveusage", QUEUE);
+        let out = run(&args(&["prove", path.to_str().unwrap(), "A", "B"]));
+        assert_eq!(out.code, 2);
+        let _ = fs::remove_file(path);
+    }
+}

@@ -1,0 +1,49 @@
+//! The `adt` binary: a thin wrapper over [`adt_cli::run`] (plus the
+//! interactive `repl` subcommand, which owns stdin/stdout directly).
+
+use std::io::{BufReader, Write};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("repl") {
+        std::process::exit(run_repl(&args[1..]));
+    }
+    let outcome = adt_cli::run(&args);
+    print!("{}", outcome.output);
+    std::process::exit(outcome.code);
+}
+
+fn run_repl(args: &[String]) -> i32 {
+    let [path] = args else {
+        print!("{}", adt_cli::USAGE);
+        return 2;
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read `{path}`: {e}");
+            return 2;
+        }
+    };
+    let spec = match adt_dsl::parse(&source) {
+        Ok(spec) => spec,
+        Err(diags) => {
+            eprint!("{}", diags.render(&source));
+            return 1;
+        }
+    };
+    let stdin = std::io::stdin();
+    let mut input = BufReader::new(stdin.lock());
+    let stdout = std::io::stdout();
+    let mut output = stdout.lock();
+    match adt_cli::repl::run_repl(&spec, &mut input, &mut output) {
+        Ok(_) => {
+            let _ = output.flush();
+            0
+        }
+        Err(e) => {
+            eprintln!("i/o error: {e}");
+            1
+        }
+    }
+}

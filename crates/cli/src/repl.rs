@@ -1,0 +1,407 @@
+//! `adt repl` — an interactive session over a specification, the §5
+//! "system in which implementations and algebraic specifications of
+//! abstract types are interchangeable", at a prompt:
+//!
+//! ```text
+//! queue> x := NEW
+//! queue> x := ADD(x, A)
+//! queue> FRONT(x)
+//! A   (2 steps)
+//! queue> :trace REMOVE(x)
+//! …derivation…
+//! queue> :prove FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+//! proved (1 case)
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, Write};
+
+use adt_core::{display, Spec, Subst, Term};
+use adt_dsl::{lower_term_in, parse_term_source, Diagnostics};
+use adt_rewrite::{Proof, Rewriter};
+
+/// The REPL's help text.
+const REPL_HELP: &str = "commands:
+  NAME := <term>        bind a session variable to the normalized term
+  <term>                normalize a term (may use bound session variables)
+  :trace <term>         normalize, printing every rewrite step
+  :prove <t1> = <t2>    prove an equation (boolean case analysis allowed)
+  :induct <v> <t1> = <t2>  prove an equation by induction on variable v
+  :check                run the completeness and consistency checkers
+  :vars                 list bound session variables
+  :axioms               list the specification's axioms
+  :help                 this text
+  :quit                 leave
+";
+
+/// Runs the REPL over `input`, writing to `output`. Returns the number of
+/// commands executed (used by tests; the binary ignores it).
+///
+/// # Errors
+///
+/// Returns any I/O error from reading input or writing output.
+pub fn run_repl(
+    spec: &Spec,
+    input: &mut dyn BufRead,
+    output: &mut dyn Write,
+) -> std::io::Result<usize> {
+    let rw = Rewriter::new(spec);
+    let mut env: HashMap<String, Term> = HashMap::new();
+    let mut executed = 0;
+    let prompt = spec.name().to_lowercase();
+
+    let mut line = String::new();
+    loop {
+        write!(output, "{prompt}> ")?;
+        output.flush()?;
+        line.clear();
+        if input.read_line(&mut line)? == 0 {
+            writeln!(output)?;
+            return Ok(executed);
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("--") {
+            continue;
+        }
+        executed += 1;
+        let mut reply = String::new();
+        match dispatch(spec, &rw, &mut env, line, &mut reply) {
+            Ok(true) => {
+                output.write_all(reply.as_bytes())?;
+            }
+            Ok(false) => {
+                output.write_all(reply.as_bytes())?;
+                return Ok(executed);
+            }
+            Err(diags) => {
+                writeln!(output, "{}", diags.render(line).trim_end())?;
+            }
+        }
+    }
+}
+
+/// Executes one REPL line into `reply`; `Ok(false)` means quit.
+fn dispatch(
+    spec: &Spec,
+    rw: &Rewriter<'_>,
+    env: &mut HashMap<String, Term>,
+    line: &str,
+    reply: &mut String,
+) -> Result<bool, Diagnostics> {
+    if let Some(rest) = line.strip_prefix(':') {
+        let (cmd, arg) = match rest.split_once(char::is_whitespace) {
+            Some((c, a)) => (c, a.trim()),
+            None => (rest, ""),
+        };
+        match cmd {
+            "quit" | "q" => return Ok(false),
+            "help" | "h" => reply.push_str(REPL_HELP),
+            "vars" => {
+                if env.is_empty() {
+                    reply.push_str("no session variables bound\n");
+                }
+                let mut names: Vec<&String> = env.keys().collect();
+                names.sort();
+                for name in names {
+                    let _ = writeln!(reply, "{name} = {}", display::term(spec.sig(), &env[name]));
+                }
+            }
+            "axioms" => {
+                for ax in spec.axioms() {
+                    let _ = writeln!(reply, "{}", display::axiom(spec.sig(), ax));
+                }
+            }
+            "trace" => {
+                let term = parse_in_env(spec, env, arg)?;
+                match rw.normalize_traced(&term) {
+                    Ok((nf, trace)) => {
+                        reply.push_str(&trace.render(spec.sig()).to_string());
+                        let _ = writeln!(reply, "normal form: {}", display::term(spec.sig(), &nf));
+                    }
+                    Err(e) => {
+                        let _ = writeln!(reply, "{e}");
+                    }
+                }
+            }
+            "check" => {
+                let completeness = adt_check::check_completeness(spec);
+                if completeness.is_sufficiently_complete() {
+                    reply.push_str("sufficiently complete: yes\n");
+                } else {
+                    reply.push_str("sufficiently complete: NO\n");
+                    for line in completeness.prompts().lines() {
+                        let _ = writeln!(reply, "  {line}");
+                    }
+                }
+                let consistency = adt_check::check_consistency(spec);
+                let _ = writeln!(
+                    reply,
+                    "consistent: {}",
+                    if consistency.is_consistent() {
+                        "yes"
+                    } else {
+                        "NO"
+                    }
+                );
+            }
+            "induct" => {
+                // :induct <var> <lhs> = <rhs>
+                let Some((var_name, equation)) = arg.split_once(char::is_whitespace) else {
+                    reply.push_str("usage: :induct <var> <term> = <term>\n");
+                    return Ok(true);
+                };
+                let Some((lhs_src, rhs_src)) = equation.split_once('=') else {
+                    reply.push_str("usage: :induct <var> <term> = <term>\n");
+                    return Ok(true);
+                };
+                let Some(var) = spec.sig().find_var(var_name.trim()) else {
+                    let _ = writeln!(reply, "unknown specification variable `{var_name}`");
+                    return Ok(true);
+                };
+                let lhs = parse_in_env(spec, env, lhs_src.trim())?;
+                let rhs = parse_in_env(spec, env, rhs_src.trim())?;
+                match adt_verify::prove_by_induction(spec, &lhs, &rhs, var, 8) {
+                    Ok(adt_verify::InductionOutcome::Proved { cases }) => {
+                        let names: Vec<&str> = cases.iter().map(|(n, _)| n.as_str()).collect();
+                        let _ =
+                            writeln!(reply, "proved by induction (cases: {})", names.join(", "));
+                    }
+                    Ok(adt_verify::InductionOutcome::Failed {
+                        case,
+                        lhs_nf,
+                        rhs_nf,
+                    }) => {
+                        let _ = writeln!(
+                            reply,
+                            "NOT proved: the {case} case is stuck at {lhs_nf} vs {rhs_nf}"
+                        );
+                    }
+                    Err(e) => {
+                        let _ = writeln!(reply, "{e}");
+                    }
+                }
+            }
+            "prove" => {
+                let Some((lhs_src, rhs_src)) = arg.split_once('=') else {
+                    reply.push_str("usage: :prove <term> = <term>\n");
+                    return Ok(true);
+                };
+                let lhs = parse_in_env(spec, env, lhs_src.trim())?;
+                let rhs = parse_in_env(spec, env, rhs_src.trim())?;
+                match rw.prove_equal(&lhs, &rhs, 8) {
+                    Ok(Proof::Proved { cases }) => {
+                        let _ = writeln!(reply, "proved ({cases} case(s))");
+                    }
+                    Ok(Proof::Undecided { lhs_nf, rhs_nf, .. }) => {
+                        let _ = writeln!(
+                            reply,
+                            "NOT proved: {} vs {}",
+                            display::term(spec.sig(), &lhs_nf),
+                            display::term(spec.sig(), &rhs_nf)
+                        );
+                    }
+                    Err(e) => {
+                        let _ = writeln!(reply, "{e}");
+                    }
+                }
+            }
+            other => {
+                let _ = writeln!(reply, "unknown command `:{other}` (try :help)");
+            }
+        }
+        return Ok(true);
+    }
+
+    // `NAME := term` or a bare term.
+    if let Some((name, term_src)) = line.split_once(":=") {
+        let name = name.trim();
+        if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+            let _ = writeln!(reply, "bad session variable name `{name}`");
+            return Ok(true);
+        }
+        let term = parse_in_env(spec, env, term_src.trim())?;
+        match rw.normalize(&term) {
+            Ok(nf) => {
+                let _ = writeln!(reply, "{name} = {}", display::term(spec.sig(), &nf));
+                env.insert(name.to_owned(), nf);
+            }
+            Err(e) => {
+                let _ = writeln!(reply, "{e}");
+            }
+        }
+        return Ok(true);
+    }
+
+    let term = parse_in_env(spec, env, line)?;
+    match rw.normalize_full(&term) {
+        Ok(norm) => {
+            let _ = writeln!(
+                reply,
+                "{}   ({} step(s))",
+                display::term(spec.sig(), &norm.term),
+                norm.steps
+            );
+        }
+        Err(e) => {
+            let _ = writeln!(reply, "{e}");
+        }
+    }
+    Ok(true)
+}
+
+/// Parses a term that may mention session variables: the signature is
+/// temporarily extended with one typed variable per binding, and the
+/// bindings are substituted in afterwards.
+fn parse_in_env(
+    spec: &Spec,
+    env: &HashMap<String, Term>,
+    source: &str,
+) -> Result<Term, Diagnostics> {
+    let ast = parse_term_source(source)?;
+    let mut sig = spec.sig().clone();
+    let mut subst = Subst::new();
+    for (name, value) in env {
+        if sig.find_var(name).is_some() || sig.find_op(name).is_some() {
+            continue; // spec names shadow session bindings
+        }
+        let sort = value
+            .sort(spec.sig())
+            .expect("bound values are normalized well-sorted terms");
+        let var = sig
+            .add_var(name, sort)
+            .expect("binding names were checked unique");
+        subst.bind(var, value.clone());
+    }
+    let term = lower_term_in(&sig, &ast, None)?;
+    Ok(subst.apply(&term))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn queue_spec() -> Spec {
+        adt_dsl::parse(
+            r#"
+type Queue
+param Item
+ops
+  NEW: -> Queue ctor
+  ADD: Queue, Item -> Queue ctor
+  FRONT: Queue -> Item
+  REMOVE: Queue -> Queue
+  IS_EMPTY?: Queue -> Bool
+  A: -> Item ctor
+  B: -> Item ctor
+vars
+  q: Queue
+  i: Item
+axioms
+  [1] IS_EMPTY?(NEW) = true
+  [2] IS_EMPTY?(ADD(q, i)) = false
+  [3] FRONT(NEW) = error
+  [4] FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+  [5] REMOVE(NEW) = error
+  [6] REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), i)
+end
+"#,
+        )
+        .unwrap()
+    }
+
+    fn drive(script: &str) -> String {
+        let spec = queue_spec();
+        let mut input = Cursor::new(script.to_owned());
+        let mut output = Vec::new();
+        run_repl(&spec, &mut input, &mut output).unwrap();
+        String::from_utf8(output).unwrap()
+    }
+
+    #[test]
+    fn bindings_and_evaluation() {
+        let out = drive("x := NEW\nx := ADD(x, A)\nFRONT(x)\n:quit\n");
+        assert!(out.contains("x = NEW"), "{out}");
+        assert!(out.contains("x = ADD(NEW, A)"), "{out}");
+        assert!(out.contains("A   (") && out.contains("step"), "{out}");
+    }
+
+    #[test]
+    fn session_variables_feed_later_terms() {
+        let out = drive("x := ADD(ADD(NEW, A), B)\nFRONT(REMOVE(x))\n:quit\n");
+        assert!(out.contains("B   ("), "{out}");
+    }
+
+    #[test]
+    fn trace_and_prove_commands() {
+        let out = drive(
+            ":trace FRONT(ADD(NEW, A))\n:prove FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)\n:quit\n",
+        );
+        assert!(out.contains("=[4]=>"), "{out}");
+        assert!(out.contains("proved"), "{out}");
+    }
+
+    #[test]
+    fn prove_failure_shows_normal_forms() {
+        let out = drive(":prove A = B\n:quit\n");
+        assert!(out.contains("NOT proved: A vs B"), "{out}");
+    }
+
+    #[test]
+    fn vars_and_axioms_listings() {
+        let out = drive("x := NEW\n:vars\n:axioms\n:quit\n");
+        assert!(out.contains("x = NEW"), "{out}");
+        assert!(out.contains("[4] FRONT(ADD(q, i))"), "{out}");
+    }
+
+    #[test]
+    fn errors_are_reported_inline_and_session_continues() {
+        let out = drive("FRONT(ZORP)\nFRONT(ADD(NEW, A))\n:quit\n");
+        assert!(out.contains("unknown name `ZORP`"), "{out}");
+        assert!(out.contains("A   ("), "{out}");
+    }
+
+    #[test]
+    fn unknown_command_and_help() {
+        let out = drive(":frob\n:help\n:quit\n");
+        assert!(out.contains("unknown command `:frob`"), "{out}");
+        assert!(out.contains("commands:"), "{out}");
+    }
+
+    #[test]
+    fn check_command_runs_both_checkers() {
+        let out = drive(":check\n:quit\n");
+        assert!(out.contains("sufficiently complete: yes"), "{out}");
+        assert!(out.contains("consistent: yes"), "{out}");
+    }
+
+    #[test]
+    fn induct_command_closes_constructor_cases() {
+        let out = drive(":induct q IS_EMPTY?(ADD(q, i)) = false\n:quit\n");
+        assert!(
+            out.contains("proved by induction (cases: NEW, ADD)"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn induct_rejects_unknown_variables_and_bad_usage() {
+        let out = drive(":induct zz FRONT(NEW) = error\n:induct q FRONT(NEW)\n:quit\n");
+        assert!(out.contains("unknown specification variable `zz`"), "{out}");
+        assert!(out.contains("usage: :induct"), "{out}");
+    }
+
+    #[test]
+    fn eof_terminates_cleanly() {
+        let out = drive("x := NEW\n");
+        assert!(out.contains("x = NEW"), "{out}");
+    }
+
+    #[test]
+    fn error_value_propagates_in_session() {
+        let out = drive("x := REMOVE(NEW)\nIS_EMPTY?(x)\n:quit\n");
+        assert!(out.contains("x = error"), "{out}");
+        assert!(out.contains("error   ("), "{out}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Axioms: the equational relations that give operations their meaning.
+
+use crate::error::CoreError;
+use crate::signature::Signature;
+use crate::term::Term;
+use crate::Result;
+
+/// One axiom (relation) of a specification: a labelled equation
+/// `lhs = rhs` between two terms of a common sort.
+///
+/// Read left-to-right, an axiom is a rewrite rule; the well-formedness
+/// conditions checked by [`Axiom::validate`] are exactly those required for
+/// that operational reading:
+///
+/// * both sides are well-sorted and of the same sort,
+/// * the left-hand side is not a bare variable nor an `error` (it must have
+///   something to match on),
+/// * every variable of the right-hand side also occurs on the left (no
+///   invented values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Axiom {
+    label: String,
+    lhs: Term,
+    rhs: Term,
+}
+
+impl Axiom {
+    /// Creates an axiom without validating it; see [`Axiom::validate`].
+    pub fn new(label: impl Into<String>, lhs: Term, rhs: Term) -> Self {
+        Axiom {
+            label: label.into(),
+            lhs,
+            rhs,
+        }
+    }
+
+    /// The axiom's label (e.g. `"q4"` or `"(9)"`), used in diagnostics and
+    /// rewrite traces.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The left-hand side.
+    pub fn lhs(&self) -> &Term {
+        &self.lhs
+    }
+
+    /// The right-hand side.
+    pub fn rhs(&self) -> &Term {
+        &self.rhs
+    }
+
+    /// Checks the axiom's well-formedness against a signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::IllFormedAxiom`] (or a sort error from the term
+    /// checker) describing the first problem found.
+    pub fn validate(&self, sig: &Signature) -> Result<()> {
+        let lhs_sort = self.lhs.sort(sig)?;
+        let rhs_sort = self.rhs.sort(sig)?;
+        if lhs_sort != rhs_sort {
+            return Err(CoreError::SortMismatch {
+                context: format!("both sides of axiom {}", self.label),
+                expected: sig.sort(lhs_sort).name().into(),
+                found: sig.sort(rhs_sort).name().into(),
+            });
+        }
+        match &self.lhs {
+            Term::Var(_) => {
+                return Err(CoreError::IllFormedAxiom {
+                    label: self.label.clone(),
+                    reason: "left-hand side is a bare variable".into(),
+                })
+            }
+            Term::Error(_) => {
+                return Err(CoreError::IllFormedAxiom {
+                    label: self.label.clone(),
+                    reason: "left-hand side is the error value".into(),
+                })
+            }
+            Term::Ite(_) => {
+                return Err(CoreError::IllFormedAxiom {
+                    label: self.label.clone(),
+                    reason: "left-hand side is an if-then-else (conditionals belong on the right)"
+                        .into(),
+                })
+            }
+            Term::App(_, _) => {}
+        }
+        let lhs_vars = self.lhs.vars();
+        for v in self.rhs.vars() {
+            if !lhs_vars.contains(&v) {
+                return Err(CoreError::IllFormedAxiom {
+                    label: self.label.clone(),
+                    reason: format!(
+                        "right-hand side variable `{}` does not occur on the left",
+                        sig.var(v).name()
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The operation at the head of the left-hand side.
+    ///
+    /// Valid axioms always have an application on the left, so this returns
+    /// `None` only for axioms that would fail [`Axiom::validate`].
+    pub fn head_op(&self) -> Option<crate::ids::OpId> {
+        match &self.lhs {
+            Term::App(op, _) => Some(*op),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signature {
+        let mut sig = Signature::new();
+        let queue = sig.add_sort("Queue").unwrap();
+        let item = sig.add_sort("Item").unwrap();
+        sig.add_ctor("NEW", vec![], queue).unwrap();
+        sig.add_ctor("ADD", vec![queue, item], queue).unwrap();
+        sig.add_op("FRONT", vec![queue], item).unwrap();
+        sig.add_op("IS_EMPTY?", vec![queue], sig.bool_sort())
+            .unwrap();
+        sig.add_var("q", queue).unwrap();
+        sig.add_var("i", item).unwrap();
+        sig
+    }
+
+    #[test]
+    fn valid_paper_axiom_passes() {
+        let sig = sig();
+        let q = Term::Var(sig.find_var("q").unwrap());
+        let i = Term::Var(sig.find_var("i").unwrap());
+        // FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+        let lhs = sig
+            .apply(
+                "FRONT",
+                vec![sig.apply("ADD", vec![q.clone(), i.clone()]).unwrap()],
+            )
+            .unwrap();
+        let rhs = Term::ite(
+            sig.apply("IS_EMPTY?", vec![q.clone()]).unwrap(),
+            i,
+            sig.apply("FRONT", vec![q]).unwrap(),
+        );
+        let ax = Axiom::new("q4", lhs, rhs);
+        ax.validate(&sig).unwrap();
+        assert_eq!(ax.label(), "q4");
+        assert_eq!(ax.head_op(), sig.find_op("FRONT"));
+    }
+
+    #[test]
+    fn error_rhs_is_allowed() {
+        let sig = sig();
+        let item = sig.find_sort("Item").unwrap();
+        // FRONT(NEW) = error
+        let lhs = sig
+            .apply("FRONT", vec![sig.apply("NEW", vec![]).unwrap()])
+            .unwrap();
+        let ax = Axiom::new("q3", lhs, Term::Error(item));
+        ax.validate(&sig).unwrap();
+    }
+
+    #[test]
+    fn sort_mismatch_between_sides_is_rejected() {
+        let sig = sig();
+        let lhs = sig
+            .apply("FRONT", vec![sig.apply("NEW", vec![]).unwrap()])
+            .unwrap();
+        let rhs = sig.apply("NEW", vec![]).unwrap(); // Queue, not Item
+        let err = Axiom::new("bad", lhs, rhs).validate(&sig).unwrap_err();
+        assert!(matches!(err, CoreError::SortMismatch { .. }));
+        assert!(err.to_string().contains("axiom bad"));
+    }
+
+    #[test]
+    fn bare_variable_lhs_is_rejected() {
+        let sig = sig();
+        let q = Term::Var(sig.find_var("q").unwrap());
+        let err = Axiom::new("bad", q.clone(), q).validate(&sig).unwrap_err();
+        assert!(matches!(err, CoreError::IllFormedAxiom { .. }));
+    }
+
+    #[test]
+    fn error_lhs_is_rejected() {
+        let sig = sig();
+        let queue = sig.find_sort("Queue").unwrap();
+        let rhs = sig.apply("NEW", vec![]).unwrap();
+        let err = Axiom::new("bad", Term::Error(queue), rhs)
+            .validate(&sig)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::IllFormedAxiom { .. }));
+    }
+
+    #[test]
+    fn ite_lhs_is_rejected() {
+        let sig = sig();
+        let new = sig.apply("NEW", vec![]).unwrap();
+        let lhs = Term::ite(sig.tt(), new.clone(), new.clone());
+        let err = Axiom::new("bad", lhs, new).validate(&sig).unwrap_err();
+        assert!(matches!(err, CoreError::IllFormedAxiom { .. }));
+    }
+
+    #[test]
+    fn invented_rhs_variable_is_rejected() {
+        let sig = sig();
+        let i = Term::Var(sig.find_var("i").unwrap());
+        // FRONT(NEW) = i — i does not occur on the left.
+        let lhs = sig
+            .apply("FRONT", vec![sig.apply("NEW", vec![]).unwrap()])
+            .unwrap();
+        let err = Axiom::new("bad", lhs, i).validate(&sig).unwrap_err();
+        match err {
+            CoreError::IllFormedAxiom { reason, .. } => {
+                assert!(reason.contains("`i`"), "reason was: {reason}")
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Human-readable rendering of terms and axioms.
+//!
+//! Terms print in the paper's concrete syntax, which is also the syntax of
+//! the `adt-dsl` specification language: `FRONT(ADD(q, i))`,
+//! `if IS_EMPTY?(q) then i else FRONT(q)`, `error`.
+
+use std::fmt;
+
+use crate::axiom::Axiom;
+use crate::signature::Signature;
+use crate::term::Term;
+
+/// A [`fmt::Display`] adapter pairing a term with its signature.
+///
+/// Obtain one via [`term`]:
+///
+/// ```
+/// use adt_core::{display, Signature};
+///
+/// let mut sig = Signature::new();
+/// let q = sig.add_sort("Queue").unwrap();
+/// let new = sig.add_ctor("NEW", vec![], q).unwrap();
+/// let t = sig.apply("NEW", vec![]).unwrap();
+/// assert_eq!(display::term(&sig, &t).to_string(), "NEW");
+/// # let _ = (q, new);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct TermDisplay<'a> {
+    sig: &'a Signature,
+    term: &'a Term,
+}
+
+/// A [`fmt::Display`] adapter for an axiom (`label: lhs = rhs`).
+#[derive(Debug, Clone, Copy)]
+pub struct AxiomDisplay<'a> {
+    sig: &'a Signature,
+    axiom: &'a Axiom,
+}
+
+/// Renders `t` against `sig`.
+pub fn term<'a>(sig: &'a Signature, t: &'a Term) -> TermDisplay<'a> {
+    TermDisplay { sig, term: t }
+}
+
+/// Renders `a` against `sig`.
+pub fn axiom<'a>(sig: &'a Signature, a: &'a Axiom) -> AxiomDisplay<'a> {
+    AxiomDisplay { sig, axiom: a }
+}
+
+fn fmt_term(sig: &Signature, t: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match t {
+        Term::Var(v) => f.write_str(sig.var(*v).name()),
+        Term::Error(_) => f.write_str("error"),
+        Term::App(op, args) => {
+            f.write_str(sig.op(*op).name())?;
+            if !args.is_empty() {
+                f.write_str("(")?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    fmt_term(sig, a, f)?;
+                }
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Term::Ite(ite) => {
+            f.write_str("if ")?;
+            fmt_term(sig, &ite.cond, f)?;
+            f.write_str(" then ")?;
+            fmt_term(sig, &ite.then_branch, f)?;
+            f.write_str(" else ")?;
+            fmt_term(sig, &ite.else_branch, f)
+        }
+    }
+}
+
+impl fmt::Display for TermDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt_term(self.sig, self.term, f)
+    }
+}
+
+impl fmt::Display for AxiomDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {} = {}",
+            self.axiom.label(),
+            term(self.sig, self.axiom.lhs()),
+            term(self.sig, self.axiom.rhs())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signature {
+        let mut sig = Signature::new();
+        let queue = sig.add_sort("Queue").unwrap();
+        let item = sig.add_sort("Item").unwrap();
+        sig.add_ctor("NEW", vec![], queue).unwrap();
+        sig.add_ctor("ADD", vec![queue, item], queue).unwrap();
+        sig.add_op("FRONT", vec![queue], item).unwrap();
+        sig.add_op("IS_EMPTY?", vec![queue], sig.bool_sort())
+            .unwrap();
+        sig.add_var("q", queue).unwrap();
+        sig.add_var("i", item).unwrap();
+        sig
+    }
+
+    #[test]
+    fn constants_print_bare() {
+        let sig = sig();
+        let new = sig.apply("NEW", vec![]).unwrap();
+        assert_eq!(term(&sig, &new).to_string(), "NEW");
+        assert_eq!(term(&sig, &sig.tt()).to_string(), "true");
+    }
+
+    #[test]
+    fn nested_applications_print_with_commas() {
+        let sig = sig();
+        let q = Term::Var(sig.find_var("q").unwrap());
+        let i = Term::Var(sig.find_var("i").unwrap());
+        let t = sig
+            .apply("FRONT", vec![sig.apply("ADD", vec![q, i]).unwrap()])
+            .unwrap();
+        assert_eq!(term(&sig, &t).to_string(), "FRONT(ADD(q, i))");
+    }
+
+    #[test]
+    fn ite_and_error_print_in_paper_syntax() {
+        let sig = sig();
+        let q = Term::Var(sig.find_var("q").unwrap());
+        let i = Term::Var(sig.find_var("i").unwrap());
+        let item = sig.find_sort("Item").unwrap();
+        let t = Term::ite(
+            sig.apply("IS_EMPTY?", vec![q]).unwrap(),
+            i,
+            Term::Error(item),
+        );
+        assert_eq!(
+            term(&sig, &t).to_string(),
+            "if IS_EMPTY?(q) then i else error"
+        );
+    }
+
+    #[test]
+    fn axioms_print_with_label() {
+        let sig = sig();
+        let item = sig.find_sort("Item").unwrap();
+        let lhs = sig
+            .apply("FRONT", vec![sig.apply("NEW", vec![]).unwrap()])
+            .unwrap();
+        let ax = Axiom::new("q3", lhs, Term::Error(item));
+        assert_eq!(axiom(&sig, &ax).to_string(), "[q3] FRONT(NEW) = error");
+    }
+}

@@ -1,0 +1,93 @@
+//! Interned identifiers for sorts, operators and variables.
+//!
+//! All three are small copyable indices into tables owned by a
+//! [`Signature`](crate::Signature). Newtypes keep them statically distinct
+//! (you cannot pass an operator where a sort is expected) at zero cost.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $tag:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub(crate) u32);
+
+        impl $name {
+            /// The raw index of this identifier inside its signature table.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an identifier from a raw table index.
+            ///
+            /// Only meaningful for indices previously obtained from the same
+            /// [`Signature`](crate::Signature); using a stale or foreign
+            /// index yields lookup panics, never memory unsafety.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                Self(index as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a sort (a carrier set of the heterogeneous algebra),
+    /// e.g. `Queue`, `Item`, or the built-in `Bool`.
+    SortId,
+    "s"
+);
+
+id_type!(
+    /// Identifier of an operation of the algebra, e.g. `NEW`, `ADD`,
+    /// `FRONT`, or the built-in `true`.
+    OpId,
+    "f"
+);
+
+id_type!(
+    /// Identifier of a typed free variable usable in axioms, e.g. the `q`
+    /// and `i` of `FRONT(ADD(q, i))`.
+    VarId,
+    "v"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_roundtrip_through_index() {
+        let s = SortId::from_index(7);
+        assert_eq!(s.index(), 7);
+        let f = OpId::from_index(0);
+        assert_eq!(f.index(), 0);
+        let v = VarId::from_index(41);
+        assert_eq!(v.index(), 41);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(SortId::from_index(1));
+        set.insert(SortId::from_index(1));
+        set.insert(SortId::from_index(2));
+        assert_eq!(set.len(), 2);
+        assert!(SortId::from_index(1) < SortId::from_index(2));
+    }
+
+    #[test]
+    fn debug_is_nonempty_and_tagged() {
+        assert_eq!(format!("{:?}", SortId::from_index(3)), "s3");
+        assert_eq!(format!("{:?}", OpId::from_index(3)), "f3");
+        assert_eq!(format!("{:?}", VarId::from_index(3)), "v3");
+    }
+}

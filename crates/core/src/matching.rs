@@ -1,0 +1,221 @@
+//! One-way pattern matching (the engine behind axiom application).
+//!
+//! `match_pattern(pattern, subject)` finds a substitution `σ` with
+//! `σ(pattern) = subject`, if one exists. Only pattern variables are
+//! instantiated; the subject is treated as rigid (its variables match only
+//! themselves). This is the operation a rewrite engine performs at every
+//! candidate position.
+
+use crate::subst::Subst;
+use crate::term::Term;
+
+/// Attempts to match `pattern` against `subject` at the root.
+///
+/// Returns the unique matching substitution, or `None` if the terms are
+/// incompatible. Nonlinear patterns (repeated variables) require equal
+/// subjects at every occurrence, as in `IS_SAME?(id, id)`.
+///
+/// ```
+/// use adt_core::{match_pattern, Signature, Term};
+///
+/// let mut sig = Signature::new();
+/// let q = sig.add_sort("Queue").unwrap();
+/// let i = sig.add_sort("Item").unwrap();
+/// let new = sig.add_ctor("NEW", vec![], q).unwrap();
+/// let add = sig.add_ctor("ADD", vec![q, i], q).unwrap();
+/// let a = sig.add_ctor("A", vec![], i).unwrap();
+/// let qv = sig.add_var("q", q).unwrap();
+/// let iv = sig.add_var("i", i).unwrap();
+///
+/// // pattern ADD(q, i) vs subject ADD(NEW, A)
+/// let pattern = Term::App(add, vec![Term::Var(qv), Term::Var(iv)]);
+/// let subject = Term::App(add, vec![Term::constant(new), Term::constant(a)]);
+/// let s = match_pattern(&pattern, &subject).expect("matches");
+/// assert_eq!(s.get(qv), Some(&Term::constant(new)));
+/// assert_eq!(s.get(iv), Some(&Term::constant(a)));
+/// ```
+pub fn match_pattern(pattern: &Term, subject: &Term) -> Option<Subst> {
+    let mut subst = Subst::new();
+    if match_into(pattern, subject, &mut subst) {
+        Some(subst)
+    } else {
+        None
+    }
+}
+
+/// Like [`match_pattern`], but extends an existing partial substitution,
+/// failing if a pattern variable would need two different bindings.
+///
+/// Useful when matching several pattern/subject pairs under a shared
+/// substitution (e.g. the argument lists of two applications).
+pub fn match_pattern_at_root(pattern: &Term, subject: &Term, subst: &mut Subst) -> bool {
+    match_into(pattern, subject, subst)
+}
+
+fn match_into(pattern: &Term, subject: &Term, subst: &mut Subst) -> bool {
+    match (pattern, subject) {
+        (Term::Var(v), _) => {
+            if let Some(bound) = subst.get(*v) {
+                bound == subject
+            } else {
+                subst.bind(*v, subject.clone());
+                true
+            }
+        }
+        (Term::Error(s1), Term::Error(s2)) => s1 == s2,
+        (Term::App(op1, args1), Term::App(op2, args2)) => {
+            op1 == op2
+                && args1.len() == args2.len()
+                && args1
+                    .iter()
+                    .zip(args2)
+                    .all(|(p, s)| match_into(p, s, subst))
+        }
+        (Term::Ite(p), Term::Ite(s)) => {
+            match_into(&p.cond, &s.cond, subst)
+                && match_into(&p.then_branch, &s.then_branch, subst)
+                && match_into(&p.else_branch, &s.else_branch, subst)
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::VarId;
+    use crate::signature::Signature;
+
+    struct Fixture {
+        sig: Signature,
+        q: VarId,
+        i: VarId,
+        i1: VarId,
+    }
+
+    fn fixture() -> Fixture {
+        let mut sig = Signature::new();
+        let queue = sig.add_sort("Queue").unwrap();
+        let item = sig.add_sort("Item").unwrap();
+        sig.add_ctor("NEW", vec![], queue).unwrap();
+        sig.add_ctor("ADD", vec![queue, item], queue).unwrap();
+        sig.add_ctor("A", vec![], item).unwrap();
+        sig.add_ctor("B", vec![], item).unwrap();
+        sig.add_op("FRONT", vec![queue], item).unwrap();
+        let q = sig.add_var("q", queue).unwrap();
+        let i = sig.add_var("i", item).unwrap();
+        let i1 = sig.add_var("i1", item).unwrap();
+        Fixture { sig, q, i, i1 }
+    }
+
+    #[test]
+    fn matching_binds_variables() {
+        let f = fixture();
+        let new = f.sig.apply("NEW", vec![]).unwrap();
+        let a = f.sig.apply("A", vec![]).unwrap();
+        let pattern = f
+            .sig
+            .apply("ADD", vec![Term::Var(f.q), Term::Var(f.i)])
+            .unwrap();
+        let subject = f.sig.apply("ADD", vec![new.clone(), a.clone()]).unwrap();
+        let s = match_pattern(&pattern, &subject).unwrap();
+        assert_eq!(s.get(f.q), Some(&new));
+        assert_eq!(s.get(f.i), Some(&a));
+        assert_eq!(s.apply(&pattern), subject);
+    }
+
+    #[test]
+    fn head_mismatch_fails() {
+        let f = fixture();
+        let new = f.sig.apply("NEW", vec![]).unwrap();
+        let front = f.sig.apply("FRONT", vec![new.clone()]).unwrap();
+        let pattern = f.sig.apply("NEW", vec![]).unwrap();
+        assert!(match_pattern(&pattern, &front).is_none());
+    }
+
+    #[test]
+    fn nonlinear_pattern_requires_equal_subjects() {
+        let f = fixture();
+        let a = f.sig.apply("A", vec![]).unwrap();
+        let b = f.sig.apply("B", vec![]).unwrap();
+        let new = f.sig.apply("NEW", vec![]).unwrap();
+        // pattern ADD(ADD(q, i), i) — i occurs twice.
+        let inner = f
+            .sig
+            .apply("ADD", vec![Term::Var(f.q), Term::Var(f.i)])
+            .unwrap();
+        let pattern = f.sig.apply("ADD", vec![inner, Term::Var(f.i)]).unwrap();
+
+        let good_subject = f
+            .sig
+            .apply(
+                "ADD",
+                vec![
+                    f.sig.apply("ADD", vec![new.clone(), a.clone()]).unwrap(),
+                    a.clone(),
+                ],
+            )
+            .unwrap();
+        assert!(match_pattern(&pattern, &good_subject).is_some());
+
+        let bad_subject = f
+            .sig
+            .apply("ADD", vec![f.sig.apply("ADD", vec![new, a]).unwrap(), b])
+            .unwrap();
+        assert!(match_pattern(&pattern, &bad_subject).is_none());
+    }
+
+    #[test]
+    fn subject_variables_are_rigid() {
+        let f = fixture();
+        // pattern q (a bare variable) matches anything, including a variable.
+        let s = match_pattern(&Term::Var(f.q), &Term::Var(f.q)).unwrap();
+        assert_eq!(s.get(f.q), Some(&Term::Var(f.q)));
+        // pattern NEW does not match the distinct subject variable i.
+        let new = f.sig.apply("NEW", vec![]).unwrap();
+        assert!(match_pattern(&new, &Term::Var(f.i)).is_none());
+        // pattern i (Item var) "matches" subject i1 by binding i ↦ i1 — one-way.
+        let s = match_pattern(&Term::Var(f.i), &Term::Var(f.i1)).unwrap();
+        assert_eq!(s.get(f.i), Some(&Term::Var(f.i1)));
+    }
+
+    #[test]
+    fn error_matches_only_same_sorted_error() {
+        let f = fixture();
+        let item = f.sig.find_sort("Item").unwrap();
+        let queue = f.sig.find_sort("Queue").unwrap();
+        assert!(match_pattern(&Term::Error(item), &Term::Error(item)).is_some());
+        assert!(match_pattern(&Term::Error(item), &Term::Error(queue)).is_none());
+        let a = f.sig.apply("A", vec![]).unwrap();
+        assert!(match_pattern(&Term::Error(item), &a).is_none());
+        // but a variable pattern matches an error subject
+        assert!(match_pattern(&Term::Var(f.i), &Term::Error(item)).is_some());
+    }
+
+    #[test]
+    fn ite_patterns_match_structurally() {
+        let f = fixture();
+        let a = f.sig.apply("A", vec![]).unwrap();
+        let b = f.sig.apply("B", vec![]).unwrap();
+        let pattern = Term::ite(f.sig.tt(), Term::Var(f.i), Term::Var(f.i1));
+        let subject = Term::ite(f.sig.tt(), a.clone(), b.clone());
+        let s = match_pattern(&pattern, &subject).unwrap();
+        assert_eq!(s.get(f.i), Some(&a));
+        assert_eq!(s.get(f.i1), Some(&b));
+        let wrong = Term::ite(f.sig.ff(), a, b);
+        assert!(match_pattern(&pattern, &wrong).is_none());
+    }
+
+    #[test]
+    fn shared_substitution_across_pairs() {
+        let f = fixture();
+        let a = f.sig.apply("A", vec![]).unwrap();
+        let b = f.sig.apply("B", vec![]).unwrap();
+        let mut s = Subst::new();
+        assert!(match_pattern_at_root(&Term::Var(f.i), &a, &mut s));
+        // Same variable against a different subject must now fail.
+        assert!(!match_pattern_at_root(&Term::Var(f.i), &b, &mut s));
+        // But against the same subject succeeds.
+        assert!(match_pattern_at_root(&Term::Var(f.i), &a, &mut s));
+    }
+}

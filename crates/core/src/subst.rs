@@ -1,0 +1,211 @@
+//! Substitutions: finite maps from variables to terms.
+
+use std::collections::HashMap;
+
+use crate::ids::VarId;
+use crate::term::Term;
+
+/// A substitution `σ`, mapping finitely many variables to terms.
+///
+/// Applying a substitution replaces every mapped variable occurrence in a
+/// term simultaneously; unmapped variables are left untouched.
+///
+/// ```
+/// use adt_core::{Signature, Subst, Term};
+///
+/// let mut sig = Signature::new();
+/// let q = sig.add_sort("Queue").unwrap();
+/// let new = sig.add_ctor("NEW", vec![], q).unwrap();
+/// let v = sig.add_var("q", q).unwrap();
+///
+/// let mut s = Subst::new();
+/// s.bind(v, Term::constant(new));
+/// assert_eq!(s.apply(&Term::Var(v)), Term::constant(new));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Subst {
+    map: HashMap<VarId, Term>,
+}
+
+impl Subst {
+    /// The empty (identity) substitution.
+    pub fn new() -> Self {
+        Subst::default()
+    }
+
+    /// A substitution with a single binding.
+    pub fn single(var: VarId, term: Term) -> Self {
+        let mut s = Subst::new();
+        s.bind(var, term);
+        s
+    }
+
+    /// Binds `var` to `term`, replacing any previous binding.
+    pub fn bind(&mut self, var: VarId, term: Term) {
+        self.map.insert(var, term);
+    }
+
+    /// The term bound to `var`, if any.
+    pub fn get(&self, var: VarId) -> Option<&Term> {
+        self.map.get(&var)
+    }
+
+    /// Whether `var` is in the domain of the substitution.
+    pub fn binds(&self, var: VarId) -> bool {
+        self.map.contains_key(&var)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the substitution is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over the bindings in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, &Term)> {
+        self.map.iter().map(|(&v, t)| (v, t))
+    }
+
+    /// Applies the substitution to `term`, returning a new term.
+    pub fn apply(&self, term: &Term) -> Term {
+        match term {
+            Term::Var(v) => self.map.get(v).cloned().unwrap_or_else(|| term.clone()),
+            Term::Error(_) => term.clone(),
+            Term::App(op, args) => Term::App(*op, args.iter().map(|a| self.apply(a)).collect()),
+            Term::Ite(ite) => Term::ite(
+                self.apply(&ite.cond),
+                self.apply(&ite.then_branch),
+                self.apply(&ite.else_branch),
+            ),
+        }
+    }
+
+    /// Composes two substitutions: `self.compose(&other)` behaves like
+    /// applying `self` first, then `other`.
+    ///
+    /// Formally, `(σ ∘ τ)(t) = τ(σ(t))` for every term `t`.
+    pub fn compose(&self, other: &Subst) -> Subst {
+        let mut out = Subst::new();
+        for (v, t) in self.iter() {
+            out.bind(v, other.apply(t));
+        }
+        for (v, t) in other.iter() {
+            if !out.binds(v) {
+                out.bind(v, t.clone());
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<(VarId, Term)> for Subst {
+    fn from_iter<I: IntoIterator<Item = (VarId, Term)>>(iter: I) -> Self {
+        Subst {
+            map: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<(VarId, Term)> for Subst {
+    fn extend<I: IntoIterator<Item = (VarId, Term)>>(&mut self, iter: I) {
+        self.map.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::signature::Signature;
+
+    fn setup() -> (Signature, VarId, VarId, Term, Term) {
+        let mut sig = Signature::new();
+        let queue = sig.add_sort("Queue").unwrap();
+        let item = sig.add_sort("Item").unwrap();
+        sig.add_ctor("NEW", vec![], queue).unwrap();
+        sig.add_ctor("ADD", vec![queue, item], queue).unwrap();
+        sig.add_ctor("A", vec![], item).unwrap();
+        let q = sig.add_var("q", queue).unwrap();
+        let i = sig.add_var("i", item).unwrap();
+        let new = sig.apply("NEW", vec![]).unwrap();
+        let a = sig.apply("A", vec![]).unwrap();
+        (sig, q, i, new, a)
+    }
+
+    #[test]
+    fn apply_replaces_all_occurrences_simultaneously() {
+        let (sig, q, i, new, a) = setup();
+        let term = sig
+            .apply(
+                "ADD",
+                vec![
+                    sig.apply("ADD", vec![Term::Var(q), Term::Var(i)]).unwrap(),
+                    Term::Var(i),
+                ],
+            )
+            .unwrap();
+        let mut s = Subst::new();
+        s.bind(q, new.clone());
+        s.bind(i, a.clone());
+        let applied = s.apply(&term);
+        let expected = sig
+            .apply(
+                "ADD",
+                vec![sig.apply("ADD", vec![new, a.clone()]).unwrap(), a],
+            )
+            .unwrap();
+        assert_eq!(applied, expected);
+        assert!(applied.is_ground());
+    }
+
+    #[test]
+    fn unmapped_variables_are_untouched() {
+        let (_sig, q, i, new, _a) = setup();
+        let s = Subst::single(q, new);
+        assert_eq!(s.apply(&Term::Var(i)), Term::Var(i));
+        assert!(!s.binds(i));
+        assert!(s.binds(q));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn apply_distributes_through_ite_and_error() {
+        let (sig, q, i, new, a) = setup();
+        let item = sig.find_sort("Item").unwrap();
+        let ite = Term::ite(sig.tt(), Term::Var(i), Term::Error(item));
+        let mut s = Subst::new();
+        s.bind(i, a.clone());
+        s.bind(q, new);
+        let applied = s.apply(&ite);
+        assert_eq!(applied, Term::ite(sig.tt(), a, Term::Error(item)));
+    }
+
+    #[test]
+    fn composition_law_holds() {
+        let (sig, q, i, new, a) = setup();
+        // σ = {q ↦ ADD(q, i)}, τ = {q ↦ NEW, i ↦ A}
+        let add_qi = sig.apply("ADD", vec![Term::Var(q), Term::Var(i)]).unwrap();
+        let sigma = Subst::single(q, add_qi);
+        let mut tau = Subst::new();
+        tau.bind(q, new);
+        tau.bind(i, a);
+
+        let composed = sigma.compose(&tau);
+        let term = sig.apply("ADD", vec![Term::Var(q), Term::Var(i)]).unwrap();
+        assert_eq!(composed.apply(&term), tau.apply(&sigma.apply(&term)));
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let (_sig, q, i, new, a) = setup();
+        let s: Subst = vec![(q, new.clone())].into_iter().collect();
+        assert_eq!(s.get(q), Some(&new));
+        let mut s2 = s.clone();
+        s2.extend(vec![(i, a.clone())]);
+        assert_eq!(s2.len(), 2);
+        assert_eq!(s2.get(i), Some(&a));
+    }
+}

@@ -1,0 +1,144 @@
+//! The abstract syntax tree of a specification module.
+
+use crate::diag::Span;
+
+/// A whole source file: `param` declarations and `type` blocks sharing one
+/// name space.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Module {
+    /// Top-level items in source order.
+    pub items: Vec<Item>,
+}
+
+/// A top-level item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// `param Item, Identifier` — declares parameter sorts.
+    Param {
+        /// The declared sort names with their spans.
+        names: Vec<(String, Span)>,
+    },
+    /// A `type … end` block.
+    Type(TypeBlock),
+}
+
+/// One `type` block: a sort of interest with its operations, variables and
+/// axioms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeBlock {
+    /// The sort this block defines.
+    pub name: String,
+    /// Span of the name.
+    pub name_span: Span,
+    /// Parameter sorts declared inside the block (`param Item`).
+    pub params: Vec<(String, Span)>,
+    /// Operation declarations.
+    pub ops: Vec<OpDecl>,
+    /// Variable declarations.
+    pub vars: Vec<VarDecl>,
+    /// Axioms.
+    pub axioms: Vec<AxiomDecl>,
+}
+
+/// `NAME: S1, S2 -> S3 [ctor]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpDecl {
+    /// Operation name.
+    pub name: String,
+    /// Argument sort names.
+    pub args: Vec<(String, Span)>,
+    /// Result sort name.
+    pub result: (String, Span),
+    /// Whether the `ctor` marker is present.
+    pub ctor: bool,
+    /// Span of the operation name.
+    pub span: Span,
+}
+
+/// `x, y: S`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarDecl {
+    /// Variable names.
+    pub names: Vec<(String, Span)>,
+    /// Their common sort.
+    pub sort: (String, Span),
+}
+
+/// `[label] lhs = rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AxiomDecl {
+    /// The label between brackets.
+    pub label: String,
+    /// Span of the label.
+    pub label_span: Span,
+    /// Left-hand side.
+    pub lhs: TermAst,
+    /// Right-hand side.
+    pub rhs: TermAst,
+}
+
+/// A surface-syntax term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TermAst {
+    /// A bare name: variable, nullary operation, `true` or `false`.
+    Name(String, Span),
+    /// `NAME(arg, …)`.
+    App {
+        /// The operation name.
+        name: String,
+        /// Span of the name.
+        name_span: Span,
+        /// Argument terms.
+        args: Vec<TermAst>,
+    },
+    /// `if c then t else e`.
+    If {
+        /// Condition.
+        cond: Box<TermAst>,
+        /// Then-branch.
+        then_branch: Box<TermAst>,
+        /// Else-branch.
+        else_branch: Box<TermAst>,
+        /// Span of the `if` keyword.
+        span: Span,
+    },
+    /// `error`.
+    Error(Span),
+}
+
+impl TermAst {
+    /// The span most representative of this term (its head).
+    pub fn span(&self) -> Span {
+        match self {
+            TermAst::Name(_, s) => *s,
+            TermAst::App { name_span, .. } => *name_span,
+            TermAst::If { span, .. } => *span,
+            TermAst::Error(s) => *s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn term_spans_follow_heads() {
+        let s1 = Span::new(3, 6);
+        assert_eq!(TermAst::Name("q".into(), s1).span(), s1);
+        assert_eq!(TermAst::Error(s1).span(), s1);
+        let app = TermAst::App {
+            name: "ADD".into(),
+            name_span: s1,
+            args: vec![],
+        };
+        assert_eq!(app.span(), s1);
+        let ite = TermAst::If {
+            cond: Box::new(TermAst::Error(Span::new(9, 14))),
+            then_branch: Box::new(TermAst::Error(Span::new(20, 25))),
+            else_branch: Box::new(TermAst::Error(Span::new(30, 35))),
+            span: s1,
+        };
+        assert_eq!(ite.span(), s1);
+    }
+}

@@ -1,0 +1,214 @@
+//! Source spans and diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both inputs.
+    pub fn join(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// One problem found in a specification source file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Where the problem is.
+    pub span: Span,
+    /// What the problem is.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Diagnostic {
+            span,
+            message: message.into(),
+        }
+    }
+}
+
+/// A non-empty collection of diagnostics, returned when parsing or
+/// lowering fails.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Diagnostics {
+    items: Vec<Diagnostic>,
+}
+
+impl Diagnostics {
+    /// An empty collection (not yet an error).
+    pub fn new() -> Self {
+        Diagnostics::default()
+    }
+
+    /// Adds a diagnostic.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.items.push(d);
+    }
+
+    /// Adds a diagnostic from parts.
+    pub fn error(&mut self, span: Span, message: impl Into<String>) {
+        self.push(Diagnostic::new(span, message));
+    }
+
+    /// All diagnostics, in the order found.
+    pub fn items(&self) -> &[Diagnostic] {
+        &self.items
+    }
+
+    /// Whether anything was reported.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Number of diagnostics.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Renders every diagnostic against the source, with a line/column
+    /// header and a caret line, compiler-style:
+    ///
+    /// ```text
+    /// error: unknown sort `Qeue`
+    ///   --> line 4, column 12
+    ///    |   ADD: Qeue, Item -> Queue ctor
+    ///    |        ^^^^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let map = LineMap::new(source);
+        let mut out = String::new();
+        for d in &self.items {
+            let (line, col) = map.position(d.span.start);
+            out.push_str(&format!("error: {}\n", d.message));
+            out.push_str(&format!("  --> line {line}, column {col}\n"));
+            if let Some(text) = map.line_text(source, line) {
+                out.push_str(&format!("   | {text}\n"));
+                let width = (d.span.end.saturating_sub(d.span.start)).max(1);
+                let width = width.min(text.len().saturating_sub(col - 1).max(1));
+                out.push_str(&format!(
+                    "   | {}{}\n",
+                    " ".repeat(col - 1),
+                    "^".repeat(width)
+                ));
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Diagnostics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, d) in self.items.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{}", d.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl Error for Diagnostics {}
+
+/// Maps byte offsets to 1-based (line, column) positions.
+struct LineMap {
+    line_starts: Vec<usize>,
+}
+
+impl LineMap {
+    fn new(source: &str) -> Self {
+        let mut line_starts = vec![0];
+        for (i, b) in source.bytes().enumerate() {
+            if b == b'\n' {
+                line_starts.push(i + 1);
+            }
+        }
+        LineMap { line_starts }
+    }
+
+    fn position(&self, offset: usize) -> (usize, usize) {
+        let line_idx = match self.line_starts.binary_search(&offset) {
+            Ok(i) => i,
+            Err(i) => i - 1,
+        };
+        (line_idx + 1, offset - self.line_starts[line_idx] + 1)
+    }
+
+    fn line_text<'s>(&self, source: &'s str, line: usize) -> Option<&'s str> {
+        let start = *self.line_starts.get(line - 1)?;
+        let end = self
+            .line_starts
+            .get(line)
+            .map(|&e| e.saturating_sub(1))
+            .unwrap_or(source.len());
+        source.get(start..end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_join() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.join(b), Span::new(3, 12));
+        assert_eq!(b.join(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn line_map_positions() {
+        let src = "abc\ndef\nghi";
+        let map = LineMap::new(src);
+        assert_eq!(map.position(0), (1, 1));
+        assert_eq!(map.position(2), (1, 3));
+        assert_eq!(map.position(4), (2, 1));
+        assert_eq!(map.position(9), (3, 2));
+        assert_eq!(map.line_text(src, 2), Some("def"));
+        assert_eq!(map.line_text(src, 3), Some("ghi"));
+    }
+
+    #[test]
+    fn render_points_at_the_problem() {
+        let src = "type Queue\nops\n  ADD: Qeue -> Queue\nend";
+        let pos = src.find("Qeue").unwrap();
+        let mut ds = Diagnostics::new();
+        ds.error(Span::new(pos, pos + 4), "unknown sort `Qeue`");
+        let rendered = ds.render(src);
+        assert!(rendered.contains("unknown sort `Qeue`"));
+        assert!(rendered.contains("line 3"));
+        assert!(rendered.contains("^^^^"), "{rendered}");
+    }
+
+    #[test]
+    fn display_concatenates_messages() {
+        let mut ds = Diagnostics::new();
+        ds.error(Span::new(0, 1), "first");
+        ds.error(Span::new(1, 2), "second");
+        let s = ds.to_string();
+        assert!(s.contains("first"));
+        assert!(s.contains("second"));
+        assert_eq!(ds.len(), 2);
+        assert!(!ds.is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! The lexer: source text to tokens.
+
+use crate::diag::{Diagnostics, Span};
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes a source file. Comments run from `--` to end of line.
+///
+/// # Errors
+///
+/// Returns a diagnostic for every unrecognized character (all such
+/// characters are reported at once, not just the first).
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostics> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut diags = Diagnostics::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => i += 1,
+            b'-' if bytes.get(i + 1) == Some(&b'-') => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'-' if bytes.get(i + 1) == Some(&b'>') => {
+                tokens.push(Token::new(TokenKind::Arrow, Span::new(i, i + 2)));
+                i += 2;
+            }
+            b'(' => {
+                tokens.push(Token::new(TokenKind::LParen, Span::new(i, i + 1)));
+                i += 1;
+            }
+            b')' => {
+                tokens.push(Token::new(TokenKind::RParen, Span::new(i, i + 1)));
+                i += 1;
+            }
+            b'[' => {
+                tokens.push(Token::new(TokenKind::LBracket, Span::new(i, i + 1)));
+                i += 1;
+            }
+            b']' => {
+                tokens.push(Token::new(TokenKind::RBracket, Span::new(i, i + 1)));
+                i += 1;
+            }
+            b',' => {
+                tokens.push(Token::new(TokenKind::Comma, Span::new(i, i + 1)));
+                i += 1;
+            }
+            b':' => {
+                tokens.push(Token::new(TokenKind::Colon, Span::new(i, i + 1)));
+                i += 1;
+            }
+            b'=' => {
+                tokens.push(Token::new(TokenKind::Equals, Span::new(i, i + 1)));
+                i += 1;
+            }
+            _ if b.is_ascii_alphabetic() || b.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() {
+                    let c = bytes[i];
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'.' || c == b'\'' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // A single trailing `?` is part of the name (IS_EMPTY?).
+                if i < bytes.len() && bytes[i] == b'?' {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let kind = match text {
+                    "type" => TokenKind::KwType,
+                    "param" => TokenKind::KwParam,
+                    "ops" => TokenKind::KwOps,
+                    "vars" => TokenKind::KwVars,
+                    "axioms" => TokenKind::KwAxioms,
+                    "end" => TokenKind::KwEnd,
+                    "if" => TokenKind::KwIf,
+                    "then" => TokenKind::KwThen,
+                    "else" => TokenKind::KwElse,
+                    "error" => TokenKind::KwError,
+                    "ctor" => TokenKind::KwCtor,
+                    _ => TokenKind::Ident(text.to_owned()),
+                };
+                tokens.push(Token::new(kind, Span::new(start, i)));
+            }
+            _ => {
+                // Report the full UTF-8 character, not just the byte.
+                let ch = source[i..].chars().next().unwrap_or('\u{FFFD}');
+                let len = ch.len_utf8();
+                diags.error(
+                    Span::new(i, i + len),
+                    format!("unrecognized character `{ch}`"),
+                );
+                i += len;
+            }
+        }
+    }
+    tokens.push(Token::new(
+        TokenKind::Eof,
+        Span::new(bytes.len(), bytes.len()),
+    ));
+    if diags.is_empty() {
+        Ok(tokens)
+    } else {
+        Err(diags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_declaration_line() {
+        let ks = kinds("ADD: Queue, Item -> Queue ctor");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("ADD".into()),
+                TokenKind::Colon,
+                TokenKind::Ident("Queue".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("Item".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("Queue".into()),
+                TokenKind::KwCtor,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_paper_flavoured_names() {
+        let ks = kinds("IS_EMPTY? IS.NEWSTACK? ENTERBLOCK' hash_tab q1");
+        let names: Vec<String> = ks
+            .into_iter()
+            .filter_map(|k| match k {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            names,
+            vec!["IS_EMPTY?", "IS.NEWSTACK?", "ENTERBLOCK'", "hash_tab", "q1"]
+        );
+    }
+
+    #[test]
+    fn keywords_are_distinguished() {
+        let ks = kinds("type ops vars axioms end if then else error ctor param");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::KwType,
+                TokenKind::KwOps,
+                TokenKind::KwVars,
+                TokenKind::KwAxioms,
+                TokenKind::KwEnd,
+                TokenKind::KwIf,
+                TokenKind::KwThen,
+                TokenKind::KwElse,
+                TokenKind::KwError,
+                TokenKind::KwCtor,
+                TokenKind::KwParam,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let ks = kinds("NEW -- a fresh queue\n-> Queue");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::Ident("NEW".into()),
+                TokenKind::Arrow,
+                TokenKind::Ident("Queue".into()),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_labels_lex_as_identifiers() {
+        let ks = kinds("[17]");
+        assert_eq!(
+            ks,
+            vec![
+                TokenKind::LBracket,
+                TokenKind::Ident("17".into()),
+                TokenKind::RBracket,
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_characters_are_all_reported() {
+        let err = lex("NEW # $ -> Queue").unwrap_err();
+        assert_eq!(err.len(), 2);
+        assert!(err.items()[0].message.contains("`#`"));
+        assert!(err.items()[1].message.contains("`$`"));
+    }
+
+    #[test]
+    fn spans_are_exact() {
+        let tokens = lex("ADD: Q").unwrap();
+        assert_eq!(tokens[0].span, Span::new(0, 3));
+        assert_eq!(tokens[1].span, Span::new(3, 4));
+        assert_eq!(tokens[2].span, Span::new(5, 6));
+    }
+
+    #[test]
+    fn question_mark_only_at_end_of_name() {
+        // `?` not following a name is unrecognized.
+        let err = lex("? ADD").unwrap_err();
+        assert_eq!(err.len(), 1);
+    }
+}

@@ -1,0 +1,284 @@
+//! Pretty-printing: a [`Spec`] back to specification-language source.
+//!
+//! The printer and the parser are designed as a round-trip pair:
+//! `parse(print_spec(&spec))` always succeeds and yields a specification
+//! [`semantically_equal`] to the input. (Exact id-level equality is not
+//! guaranteed — printing groups operations by type block, which may
+//! reorder declarations.)
+
+use std::collections::HashSet;
+
+use adt_core::{display, SortId, Spec};
+
+/// Renders a specification as parseable source text.
+///
+/// One `type` block is emitted per sort of interest; each operation is
+/// placed in the block of its result sort when that is a sort of interest,
+/// otherwise in the block of its first sort-of-interest argument, and
+/// otherwise in the first block. Parameter sorts are declared in the first
+/// block. Axioms follow the block of their head operation.
+pub fn print_spec(spec: &Spec) -> String {
+    let sig = spec.sig();
+    let tois = spec.tois();
+    assert!(
+        !tois.is_empty(),
+        "cannot print a specification with no sorts of interest"
+    );
+
+    let block_of_op = |op: adt_core::OpId| -> SortId {
+        let info = sig.op(op);
+        if spec.is_toi(info.result()) {
+            return info.result();
+        }
+        info.args()
+            .iter()
+            .copied()
+            .find(|&s| spec.is_toi(s))
+            .unwrap_or(tois[0])
+    };
+
+    let mut out = String::new();
+    let mut printed_params = false;
+    for (block_idx, &toi) in tois.iter().enumerate() {
+        if block_idx > 0 {
+            out.push('\n');
+        }
+        out.push_str(&format!("type {}\n", sig.sort(toi).name()));
+        if !printed_params && !spec.params().is_empty() {
+            let names: Vec<&str> = spec.params().iter().map(|&p| sig.sort(p).name()).collect();
+            out.push_str(&format!("param {}\n", names.join(", ")));
+            printed_params = true;
+        }
+
+        // Operations of this block.
+        let ops: Vec<_> = sig
+            .op_ids()
+            .filter(|&op| !sig.op(op).is_builtin() && block_of_op(op) == toi)
+            .collect();
+        if !ops.is_empty() {
+            out.push_str("\nops\n");
+            for op in &ops {
+                let info = sig.op(*op);
+                let args: Vec<&str> = info.args().iter().map(|&s| sig.sort(s).name()).collect();
+                out.push_str(&format!(
+                    "  {}: {}{}-> {}{}\n",
+                    info.name(),
+                    args.join(", "),
+                    if args.is_empty() { "" } else { " " },
+                    sig.sort(info.result()).name(),
+                    if info.is_constructor() { " ctor" } else { "" },
+                ));
+            }
+        }
+
+        // Variables whose sort is this block's sort, plus (in the first
+        // block) all variables of parameter and builtin sorts.
+        let vars: Vec<_> = sig
+            .var_ids()
+            .filter(|&v| {
+                let s = sig.var(v).sort();
+                s == toi || (block_idx == 0 && !spec.is_toi(s))
+            })
+            .collect();
+        if !vars.is_empty() {
+            out.push_str("\nvars\n");
+            for v in &vars {
+                out.push_str(&format!(
+                    "  {}: {}\n",
+                    sig.var(*v).name(),
+                    sig.sort(sig.var(*v).sort()).name()
+                ));
+            }
+        }
+
+        // Axioms headed by an operation of this block.
+        let op_set: HashSet<_> = ops.iter().copied().collect();
+        let axioms: Vec<_> = spec
+            .axioms()
+            .iter()
+            .filter(|ax| ax.head_op().map(|op| op_set.contains(&op)).unwrap_or(false))
+            .collect();
+        if !axioms.is_empty() {
+            out.push_str("\naxioms\n");
+            for ax in axioms {
+                out.push_str(&format!(
+                    "  [{}] {} = {}\n",
+                    ax.label(),
+                    display::term(sig, ax.lhs()),
+                    display::term(sig, ax.rhs())
+                ));
+            }
+        }
+        out.push_str("end\n");
+    }
+    out
+}
+
+/// Whether two specifications are the same up to declaration order: same
+/// sorts (with roles), operations (with signatures and constructor flags),
+/// variables, and axioms (compared by rendered text, which is
+/// α-faithful because variable names are preserved).
+pub fn semantically_equal(a: &Spec, b: &Spec) -> bool {
+    let sort_set = |s: &Spec| -> HashSet<(String, bool, bool)> {
+        s.sig()
+            .sort_ids()
+            .map(|id| {
+                (
+                    s.sig().sort(id).name().to_owned(),
+                    s.is_toi(id),
+                    s.is_param(id),
+                )
+            })
+            .collect()
+    };
+    let op_set = |s: &Spec| -> HashSet<(String, Vec<String>, String, bool)> {
+        s.sig()
+            .op_ids()
+            .map(|id| {
+                let info = s.sig().op(id);
+                (
+                    info.name().to_owned(),
+                    info.args()
+                        .iter()
+                        .map(|&a| s.sig().sort(a).name().to_owned())
+                        .collect(),
+                    s.sig().sort(info.result()).name().to_owned(),
+                    info.is_constructor(),
+                )
+            })
+            .collect()
+    };
+    let var_set = |s: &Spec| -> HashSet<(String, String)> {
+        s.sig()
+            .var_ids()
+            .map(|id| {
+                (
+                    s.sig().var(id).name().to_owned(),
+                    s.sig().sort(s.sig().var(id).sort()).name().to_owned(),
+                )
+            })
+            .collect()
+    };
+    let axiom_set = |s: &Spec| -> HashSet<String> {
+        s.axioms()
+            .iter()
+            .map(|ax| {
+                format!(
+                    "[{}] {} = {}",
+                    ax.label(),
+                    display::term(s.sig(), ax.lhs()),
+                    display::term(s.sig(), ax.rhs())
+                )
+            })
+            .collect()
+    };
+    sort_set(a) == sort_set(b)
+        && op_set(a) == op_set(b)
+        && var_set(a) == var_set(b)
+        && axiom_set(a) == axiom_set(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    const QUEUE_SRC: &str = r#"
+type Queue
+param Item
+ops
+  NEW: -> Queue ctor
+  ADD: Queue, Item -> Queue ctor
+  FRONT: Queue -> Item
+  REMOVE: Queue -> Queue
+  IS_EMPTY?: Queue -> Bool
+vars
+  q: Queue
+  i: Item
+axioms
+  [1] IS_EMPTY?(NEW) = true
+  [2] IS_EMPTY?(ADD(q, i)) = false
+  [3] FRONT(NEW) = error
+  [4] FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)
+  [5] REMOVE(NEW) = error
+  [6] REMOVE(ADD(q, i)) = if IS_EMPTY?(q) then NEW else ADD(REMOVE(q), i)
+end
+"#;
+
+    #[test]
+    fn queue_round_trips() {
+        let spec = parse(QUEUE_SRC).unwrap();
+        let printed = print_spec(&spec);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed:\n{printed}\n{}", e.render(&printed)));
+        assert!(semantically_equal(&spec, &reparsed), "printed:\n{printed}");
+    }
+
+    #[test]
+    fn printed_source_contains_paper_syntax() {
+        let spec = parse(QUEUE_SRC).unwrap();
+        let printed = print_spec(&spec);
+        assert!(printed.contains("type Queue"));
+        assert!(printed.contains("param Item"));
+        assert!(printed.contains("NEW: -> Queue ctor"));
+        assert!(printed.contains("ADD: Queue, Item -> Queue ctor"));
+        assert!(printed.contains("[4] FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q)"));
+        assert!(printed.contains("[3] FRONT(NEW) = error"));
+    }
+
+    #[test]
+    fn multi_type_module_round_trips() {
+        let src = r#"
+type Stack
+param Elem
+ops
+  NEWSTACK: -> Stack ctor
+  PUSH: Stack, Elem -> Stack ctor
+  POP: Stack -> Stack
+  TOP: Stack -> Elem
+vars
+  s: Stack
+  e: Elem
+axioms
+  [p1] POP(NEWSTACK) = error
+  [p2] POP(PUSH(s, e)) = s
+  [t1] TOP(NEWSTACK) = error
+  [t2] TOP(PUSH(s, e)) = e
+end
+
+type Pair
+ops
+  MKPAIR: Stack, Stack -> Pair ctor
+  FIRST: Pair -> Stack
+vars
+  s1, s2: Stack
+axioms
+  [f1] FIRST(MKPAIR(s1, s2)) = s1
+end
+"#;
+        let spec = parse(src).unwrap();
+        let printed = print_spec(&spec);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("reparse failed:\n{printed}\n{}", e.render(&printed)));
+        assert!(semantically_equal(&spec, &reparsed), "printed:\n{printed}");
+        // Two blocks in the output.
+        assert_eq!(printed.matches("type ").count(), 2);
+    }
+
+    #[test]
+    fn semantic_equality_detects_differences() {
+        let a = parse(QUEUE_SRC).unwrap();
+        // Same but with axiom 4 dropped.
+        let without_q4: String = QUEUE_SRC
+            .lines()
+            .filter(|l| !l.contains("[4]"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let b = parse(&without_q4).unwrap();
+        assert!(!semantically_equal(&a, &b));
+        // And with a ctor flag flipped.
+        let flipped = QUEUE_SRC.replace("REMOVE: Queue -> Queue", "REMOVE: Queue -> Queue ctor");
+        let c = parse(&flipped).unwrap();
+        assert!(!semantically_equal(&a, &c));
+    }
+}

@@ -1,0 +1,143 @@
+//! Tokens of the specification language.
+
+use std::fmt;
+
+use crate::diag::Span;
+
+/// The kind of a token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier: operation, sort, variable or label name.
+    ///
+    /// Identifiers start with a letter and may contain letters, digits,
+    /// `_`, `.` and `'`, optionally ending in `?` — enough for the paper's
+    /// `IS_EMPTY?`, `IS.NEWSTACK?`, `ENTERBLOCK'` and friends. Bare
+    /// numbers are also accepted as identifiers so axiom labels can be
+    /// `[1]`…`[9]` as in the paper.
+    Ident(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `->`
+    Arrow,
+    /// `=`
+    Equals,
+    /// `type`
+    KwType,
+    /// `param`
+    KwParam,
+    /// `ops`
+    KwOps,
+    /// `vars`
+    KwVars,
+    /// `axioms`
+    KwAxioms,
+    /// `end`
+    KwEnd,
+    /// `if`
+    KwIf,
+    /// `then`
+    KwThen,
+    /// `else`
+    KwElse,
+    /// `error`
+    KwError,
+    /// `ctor`
+    KwCtor,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Whether this token starts a new section or item (used for error
+    /// recovery).
+    pub fn is_section_start(&self) -> bool {
+        matches!(
+            self,
+            TokenKind::KwType
+                | TokenKind::KwParam
+                | TokenKind::KwOps
+                | TokenKind::KwVars
+                | TokenKind::KwAxioms
+                | TokenKind::KwEnd
+        )
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "`{s}`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::Colon => f.write_str("`:`"),
+            TokenKind::Arrow => f.write_str("`->`"),
+            TokenKind::Equals => f.write_str("`=`"),
+            TokenKind::KwType => f.write_str("`type`"),
+            TokenKind::KwParam => f.write_str("`param`"),
+            TokenKind::KwOps => f.write_str("`ops`"),
+            TokenKind::KwVars => f.write_str("`vars`"),
+            TokenKind::KwAxioms => f.write_str("`axioms`"),
+            TokenKind::KwEnd => f.write_str("`end`"),
+            TokenKind::KwIf => f.write_str("`if`"),
+            TokenKind::KwThen => f.write_str("`then`"),
+            TokenKind::KwElse => f.write_str("`else`"),
+            TokenKind::KwError => f.write_str("`error`"),
+            TokenKind::KwCtor => f.write_str("`ctor`"),
+            TokenKind::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Where it is.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_starts() {
+        assert!(TokenKind::KwOps.is_section_start());
+        assert!(TokenKind::KwEnd.is_section_start());
+        assert!(!TokenKind::Comma.is_section_start());
+        assert!(!TokenKind::Ident("x".into()).is_section_start());
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        for kind in [
+            TokenKind::Ident("ADD".into()),
+            TokenKind::Arrow,
+            TokenKind::KwAxioms,
+            TokenKind::Eof,
+        ] {
+            assert!(!kind.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Critical pairs: superpositions of rule left-hand sides.
+//!
+//! When two axioms can both rewrite one term, the two results must be
+//! joinable or the axiom set equates things it should not — the paper's
+//! *consistency* concern ("If any two of these are contradictory, the
+//! axiomatization is inconsistent", §3). This module computes all critical
+//! pairs of a specification and classifies each as joinable or diverged.
+
+use adt_core::{unify, Position, Spec, Subst, Term, VarId};
+
+use crate::engine::Rewriter;
+use crate::rule::RuleSet;
+use crate::Result;
+
+/// How a critical pair resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PairStatus {
+    /// Both reducts normalize to the same term.
+    Joinable(Term),
+    /// The reducts normalize to different terms — evidence of
+    /// inconsistency if the two normal forms are distinct constructor
+    /// terms (e.g. `true` vs `false`).
+    Diverged {
+        /// Normal form of the root-rewrite reduct.
+        left_nf: Term,
+        /// Normal form of the inner-rewrite reduct.
+        right_nf: Term,
+    },
+    /// Normalization failed (fuel exhaustion), so joinability is unknown.
+    Unknown {
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+/// One critical pair: a *peak* term reducible two ways.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalPair {
+    /// Label of the rule applied at the root.
+    pub outer_rule: String,
+    /// Label of the rule applied at `position`.
+    pub inner_rule: String,
+    /// The non-variable position of `outer_rule`'s left-hand side where
+    /// `inner_rule`'s left-hand side was overlapped.
+    pub position: Position,
+    /// The common ancestor `σ(l_outer)`.
+    pub peak: Term,
+    /// The root-rewrite reduct `σ(r_outer)`.
+    pub left: Term,
+    /// The inner-rewrite reduct `σ(l_outer[r_inner]_p)`.
+    pub right: Term,
+    /// Joinability classification.
+    pub status: PairStatus,
+}
+
+impl CriticalPair {
+    /// Whether this pair resolved without divergence.
+    pub fn is_joinable(&self) -> bool {
+        matches!(self.status, PairStatus::Joinable(_))
+    }
+}
+
+/// The result of a critical-pair analysis.
+///
+/// Because pairs mention freshly renamed variables, the analysis carries
+/// its own extended copy of the specification; render pair terms against
+/// [`CriticalPairAnalysis::spec`].
+#[derive(Debug, Clone)]
+pub struct CriticalPairAnalysis {
+    /// The input specification extended with the renamed-apart variables
+    /// used by the pairs.
+    pub spec: Spec,
+    /// All non-trivial critical pairs found.
+    pub pairs: Vec<CriticalPair>,
+}
+
+impl CriticalPairAnalysis {
+    /// Whether every pair joined — i.e. the rules are locally confluent as
+    /// far as this analysis can see.
+    pub fn all_joinable(&self) -> bool {
+        self.pairs.iter().all(CriticalPair::is_joinable)
+    }
+
+    /// The diverged pairs only.
+    pub fn diverged(&self) -> impl Iterator<Item = &CriticalPair> {
+        self.pairs
+            .iter()
+            .filter(|p| matches!(p.status, PairStatus::Diverged { .. }))
+    }
+}
+
+/// Computes all critical pairs of the specification's axioms and checks
+/// each for joinability by normalization (with a bounded case-split
+/// fallback for conditional right-hand sides).
+///
+/// Trivial self-overlaps (a rule superposed on itself at the root) are
+/// skipped, as are overlaps at variable positions.
+///
+/// # Errors
+///
+/// Returns an error only if the extended specification cannot be
+/// constructed (which would indicate a bug, not bad input).
+pub fn critical_pairs(spec: &Spec) -> Result<CriticalPairAnalysis> {
+    // Extend the signature with a renamed copy of every variable, so the
+    // two rules of a pair never share variables.
+    let mut sig = spec.sig().clone();
+    let mut renaming = Subst::new();
+    let var_ids: Vec<VarId> = sig.var_ids().collect();
+    for v in var_ids {
+        let info_name = sig.var(v).name().to_owned();
+        let sort = sig.var(v).sort();
+        let fresh_name = format!("{info_name}\u{2032}"); // a prime mark
+        let fresh = sig
+            .add_var(&fresh_name, sort)
+            .expect("fresh variable names cannot collide");
+        renaming.bind(v, Term::Var(fresh));
+    }
+    let extended = Spec::from_parts(
+        spec.name().to_owned(),
+        sig,
+        spec.axioms().to_vec(),
+        spec.tois().to_vec(),
+        spec.params().to_vec(),
+    )
+    .map_err(crate::RewriteError::from)?;
+
+    let rules = RuleSet::from_spec(&extended);
+    let rw = Rewriter::new(&extended);
+
+    let all_rules: Vec<_> = rules.iter().collect();
+    let mut pairs = Vec::new();
+    for (oi, outer) in all_rules.iter().enumerate() {
+        for (ii, inner) in all_rules.iter().enumerate() {
+            let inner_lhs = renaming.apply(inner.lhs());
+            let inner_rhs = renaming.apply(inner.rhs());
+            for (pos, sub) in outer.lhs().subterms() {
+                if matches!(sub, Term::Var(_)) {
+                    continue;
+                }
+                if oi == ii && pos.is_empty() {
+                    continue; // trivial self-overlap
+                }
+                let Some(unifier) = unify(sub, &inner_lhs) else {
+                    continue;
+                };
+                let subst = &unifier.subst;
+                let peak = deep_apply(subst, outer.lhs());
+                let left = deep_apply(subst, outer.rhs());
+                let replaced = outer
+                    .lhs()
+                    .replace_at(&pos, inner_rhs.clone())
+                    .expect("position came from subterms()");
+                let right = deep_apply(subst, &replaced);
+                let status = join(&rw, &left, &right);
+                pairs.push(CriticalPair {
+                    outer_rule: outer.label().to_owned(),
+                    inner_rule: inner.label().to_owned(),
+                    position: pos,
+                    peak,
+                    left,
+                    right,
+                    status,
+                });
+            }
+        }
+    }
+    Ok(CriticalPairAnalysis {
+        spec: extended,
+        pairs,
+    })
+}
+
+/// Applies a (possibly triangular) unifier until fixpoint, so chained
+/// variable bindings fully resolve.
+fn deep_apply(subst: &Subst, term: &Term) -> Term {
+    let mut current = subst.apply(term);
+    for _ in 0..64 {
+        let next = subst.apply(&current);
+        if next == current {
+            return current;
+        }
+        current = next;
+    }
+    current
+}
+
+fn join(rw: &Rewriter<'_>, left: &Term, right: &Term) -> PairStatus {
+    match rw.prove_equal(left, right, 6) {
+        Ok(crate::Proof::Proved { .. }) => match rw.normalize(left) {
+            Ok(nf) => PairStatus::Joinable(nf),
+            Err(e) => PairStatus::Unknown {
+                reason: e.to_string(),
+            },
+        },
+        Ok(crate::Proof::Undecided { lhs_nf, rhs_nf, .. }) => PairStatus::Diverged {
+            left_nf: lhs_nf,
+            right_nf: rhs_nf,
+        },
+        Err(e) => PairStatus::Unknown {
+            reason: e.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_core::SpecBuilder;
+
+    #[test]
+    fn orthogonal_spec_has_no_pairs() {
+        // Queue-like axioms on disjoint constructor cases never overlap.
+        let mut b = SpecBuilder::new("Tiny");
+        let s = b.sort("S");
+        let zero = b.ctor("ZERO", [], s);
+        let succ = b.ctor("SUCC", [s], s);
+        let is_zero = b.op("IS_ZERO?", [s], b.bool_sort());
+        let x = b.var("x", s);
+        let tt = b.tt();
+        let ff = b.ff();
+        b.axiom("z1", b.app(is_zero, [b.app(zero, [])]), tt);
+        b.axiom("z2", b.app(is_zero, [b.app(succ, [Term::Var(x)])]), ff);
+        let spec = b.build().unwrap();
+        let analysis = critical_pairs(&spec).unwrap();
+        assert!(analysis.pairs.is_empty());
+        assert!(analysis.all_joinable());
+    }
+
+    #[test]
+    fn overlapping_consistent_rules_join() {
+        // F(x) = C and F(C) = C overlap at the root; both reduce to C.
+        let mut b = SpecBuilder::new("Olap");
+        let s = b.sort("S");
+        let c = b.ctor("C", [], s);
+        let f = b.op("F", [s], s);
+        let x = b.var("x", s);
+        b.axiom("general", b.app(f, [Term::Var(x)]), b.app(c, []));
+        b.axiom("specific", b.app(f, [b.app(c, [])]), b.app(c, []));
+        let spec = b.build().unwrap();
+        let analysis = critical_pairs(&spec).unwrap();
+        assert!(!analysis.pairs.is_empty());
+        assert!(analysis.all_joinable(), "pairs: {:#?}", analysis.pairs);
+    }
+
+    #[test]
+    fn contradictory_rules_diverge() {
+        // F(x) = C and F(C) = D: the peak F(C) rewrites to both C and D.
+        let mut b = SpecBuilder::new("Contradiction");
+        let s = b.sort("S");
+        let c = b.ctor("C", [], s);
+        let d = b.ctor("D", [], s);
+        let f = b.op("F", [s], s);
+        let x = b.var("x", s);
+        b.axiom("general", b.app(f, [Term::Var(x)]), b.app(c, []));
+        b.axiom("specific", b.app(f, [b.app(c, [])]), b.app(d, []));
+        let spec = b.build().unwrap();
+        let analysis = critical_pairs(&spec).unwrap();
+        assert!(!analysis.all_joinable());
+        let diverged: Vec<_> = analysis.diverged().collect();
+        assert!(!diverged.is_empty());
+        match &diverged[0].status {
+            PairStatus::Diverged { left_nf, right_nf } => {
+                assert_ne!(left_nf, right_nf);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_overlap_is_found() {
+        // G(F(C)) = C with F(C) = D gives a pair at position [0].
+        let mut b = SpecBuilder::new("Nested");
+        let s = b.sort("S");
+        let c = b.ctor("C", [], s);
+        let d = b.ctor("D", [], s);
+        let f = b.op("F", [s], s);
+        let g = b.op("G", [s], s);
+        b.axiom("outer", b.app(g, [b.app(f, [b.app(c, [])])]), b.app(c, []));
+        b.axiom("inner", b.app(f, [b.app(c, [])]), b.app(d, []));
+        let spec = b.build().unwrap();
+        let analysis = critical_pairs(&spec).unwrap();
+        let found = analysis
+            .pairs
+            .iter()
+            .any(|p| p.outer_rule == "outer" && p.inner_rule == "inner" && p.position == vec![0]);
+        assert!(found, "pairs: {:#?}", analysis.pairs);
+        // G(D) is stuck at G(D) on one side and C on the other — diverged.
+        assert!(!analysis.all_joinable());
+    }
+}

@@ -1,0 +1,966 @@
+//! The rewrite engine: innermost normalization with strict `error`,
+//! boolean conditionals, contextual assumptions, and a case-splitting
+//! equality prover.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use adt_core::{match_pattern, Ite, Spec, Term};
+
+use crate::error::RewriteError;
+use crate::rule::{Rule, RuleSet};
+use crate::trace::Trace;
+use crate::Result;
+
+/// The outcome of a successful normalization, with the number of rule
+/// applications performed (built-in `if` reductions included).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Normalization {
+    /// The normal form.
+    pub term: Term,
+    /// How many reduction steps were taken.
+    pub steps: u64,
+}
+
+/// The outcome of [`Rewriter::prove_equal`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Proof {
+    /// The two terms were shown equal in every case of the analysis.
+    Proved {
+        /// Number of leaf cases closed (1 if no split was needed).
+        cases: usize,
+    },
+    /// The prover got stuck: under the recorded assumptions the two normal
+    /// forms differ syntactically. This refutes the equation when the
+    /// normal forms are distinct constructor terms; otherwise it merely
+    /// means the axioms (plus case analysis) could not join them.
+    Undecided {
+        /// The truth assignment to stuck conditions on the failing path
+        /// (empty if no split happened).
+        assumptions: Vec<(Term, bool)>,
+        /// Normal form of the left term on that path.
+        lhs_nf: Term,
+        /// Normal form of the right term on that path.
+        rhs_nf: Term,
+    },
+}
+
+impl Proof {
+    /// Whether the proof succeeded.
+    pub fn is_proved(&self) -> bool {
+        matches!(self, Proof::Proved { .. })
+    }
+}
+
+/// Contextual truth assumptions about stuck boolean terms, used when
+/// normalizing under a case analysis (`ISSAME?(id, id1) = true`, say).
+type Assumptions = Vec<(Term, bool)>;
+
+fn lookup(asms: &Assumptions, cond: &Term) -> Option<bool> {
+    asms.iter().rev().find(|(t, _)| t == cond).map(|&(_, b)| b)
+}
+
+struct EvalState {
+    remaining: u64,
+    steps: u64,
+    trace: Option<Trace>,
+}
+
+impl EvalState {
+    fn tick(&mut self, limit: u64) -> Result<()> {
+        if self.remaining == 0 {
+            return Err(RewriteError::FuelExhausted { limit });
+        }
+        self.remaining -= 1;
+        self.steps += 1;
+        Ok(())
+    }
+
+    fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    fn note(&mut self, rule: &str, redex: &Term, contractum: &Term) {
+        if let Some(t) = &mut self.trace {
+            t.record(rule, redex, contractum);
+        }
+    }
+}
+
+/// A term normalizer for one specification.
+///
+/// The strategy is leftmost-innermost (call-by-value): arguments are
+/// normalized before rules are tried at an application, matching the
+/// paper's evaluation reading of axiom sets. Four built-in behaviours are
+/// layered on top of the user's rules:
+///
+/// * **strict `error`** — `f(…, error, …)` reduces to `error` of `f`'s
+///   result sort, for *every* operation (paper, §3);
+/// * **conditional reduction** — `if true/false/error then … else …`;
+/// * **conditional lifting** — `if (if c then a else b) then x else y`
+///   becomes `if c then (if a then x else y) else (if b then x else y)`
+///   when the outer condition is stuck, which puts symbolic normal forms
+///   into a canonical "condition tree" shape;
+/// * **branch merging / eta** — `if c then x else x` reduces to `x`, and
+///   `if c then true else false` to `c`.
+///
+/// Terms containing variables normalize symbolically: a conditional whose
+/// condition cannot be decided is kept, its branches normalized under the
+/// corresponding contextual assumption.
+///
+/// ```
+/// use adt_core::{SpecBuilder, Term};
+/// use adt_rewrite::Rewriter;
+///
+/// let mut b = SpecBuilder::new("Flip");
+/// let s = b.sort("S");
+/// let a = b.ctor("A", [], s);
+/// let bb = b.ctor("B", [], s);
+/// let flip = b.op("FLIP", [s], s);
+/// b.axiom("f1", b.app(flip, [b.app(a, [])]), b.app(bb, []));
+/// b.axiom("f2", b.app(flip, [b.app(bb, [])]), b.app(a, []));
+/// let spec = b.build()?;
+/// let rw = Rewriter::new(&spec);
+/// let t = spec.sig().apply("FLIP", vec![spec.sig().apply("FLIP", vec![
+///     spec.sig().apply("A", vec![])?])?])?;
+/// assert_eq!(rw.normalize(&t)?, spec.sig().apply("A", vec![])?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rewriter<'a> {
+    spec: &'a Spec,
+    rules: RuleSet,
+    fuel: u64,
+    memo: Option<RefCell<HashMap<Term, Term>>>,
+}
+
+/// Default fuel limit: generous for every workload in this repository
+/// while still catching circular axiom sets quickly.
+pub(crate) const DEFAULT_FUEL: u64 = 1_000_000;
+
+impl<'a> Rewriter<'a> {
+    /// Creates a rewriter whose rules are the specification's axioms.
+    pub fn new(spec: &'a Spec) -> Self {
+        Rewriter {
+            spec,
+            rules: RuleSet::from_spec(spec),
+            fuel: DEFAULT_FUEL,
+            memo: None,
+        }
+    }
+
+    /// Creates a rewriter with an explicit rule set (e.g. axioms plus
+    /// induction hypotheses).
+    pub fn with_rules(spec: &'a Spec, rules: RuleSet) -> Self {
+        Rewriter {
+            spec,
+            rules,
+            fuel: DEFAULT_FUEL,
+            memo: None,
+        }
+    }
+
+    /// Enables ground-subterm memoization: the normal form of every
+    /// ground subterm encountered is cached for the lifetime of this
+    /// rewriter (across `normalize` calls).
+    ///
+    /// Sound because ground normalization is context-independent; the
+    /// cache is bypassed under contextual assumptions and while tracing
+    /// (a memo hit would hide derivation steps). Turns the quadratic
+    /// re-derivation pattern of observers like `FRONT` into near-linear
+    /// work — measured by the `memoization` benchmark.
+    #[must_use]
+    pub fn memoizing(mut self) -> Self {
+        self.memo = Some(RefCell::new(HashMap::new()));
+        self
+    }
+
+    /// Replaces the fuel limit (number of reduction steps allowed per
+    /// normalization).
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Adds an extra rule (tried after earlier rules with the same head).
+    pub fn add_rule(&mut self, rule: Rule) {
+        self.rules.add(rule);
+    }
+
+    /// The rule set in use.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The specification this rewriter executes.
+    pub fn spec(&self) -> &Spec {
+        self.spec
+    }
+
+    /// Normalizes a term.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RewriteError::FuelExhausted`] if no normal form is reached
+    /// within the fuel limit, or [`RewriteError::IllSorted`] if strict
+    /// error propagation needed the sort of an ill-sorted subterm.
+    pub fn normalize(&self, term: &Term) -> Result<Term> {
+        Ok(self.run(term, None, &Vec::new())?.0.term)
+    }
+
+    /// Normalizes a term, also reporting the number of steps taken.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Rewriter::normalize`].
+    pub fn normalize_full(&self, term: &Term) -> Result<Normalization> {
+        Ok(self.run(term, None, &Vec::new())?.0)
+    }
+
+    /// Normalizes a term, recording every step in a [`Trace`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Rewriter::normalize`].
+    pub fn normalize_traced(&self, term: &Term) -> Result<(Term, Trace)> {
+        let (norm, trace) = self.run(term, Some(Trace::new()), &Vec::new())?;
+        Ok((norm.term, trace.expect("trace was requested")))
+    }
+
+    /// Normalizes a term under contextual truth assumptions about stuck
+    /// boolean terms.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Rewriter::normalize`].
+    pub fn normalize_under(&self, term: &Term, assumptions: &[(Term, bool)]) -> Result<Term> {
+        let asms: Assumptions = assumptions.to_vec();
+        Ok(self.run(term, None, &asms)?.0.term)
+    }
+
+    /// Whether two terms have the same normal form.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Rewriter::normalize`].
+    pub fn equal_nf(&self, a: &Term, b: &Term) -> Result<bool> {
+        Ok(self.normalize(a)? == self.normalize(b)?)
+    }
+
+    /// Attempts to prove `a = b` by normalization plus case analysis on
+    /// stuck boolean conditions (up to `max_splits` nested splits).
+    ///
+    /// This is the engine behind the representation-correctness proofs of
+    /// §4: when normal forms still contain symbolic conditions such as
+    /// `ISSAME?(id, id1)`, the prover considers both truth values of the
+    /// first stuck condition and recursively closes each case.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Rewriter::normalize`].
+    pub fn prove_equal(&self, a: &Term, b: &Term, max_splits: usize) -> Result<Proof> {
+        self.prove_under(a, b, &mut Vec::new(), max_splits)
+    }
+
+    fn prove_under(
+        &self,
+        a: &Term,
+        b: &Term,
+        asms: &mut Assumptions,
+        splits_left: usize,
+    ) -> Result<Proof> {
+        let (na, _) = self.run(a, None, asms)?;
+        let (nb, _) = self.run(b, None, asms)?;
+        let na = na.term;
+        let nb = nb.term;
+        if na == nb {
+            return Ok(Proof::Proved { cases: 1 });
+        }
+        if splits_left == 0 {
+            return Ok(Proof::Undecided {
+                assumptions: asms.clone(),
+                lhs_nf: na,
+                rhs_nf: nb,
+            });
+        }
+        let cond = first_stuck_cond(&na)
+            .or_else(|| first_stuck_cond(&nb))
+            .cloned();
+        let Some(cond) = cond else {
+            return Ok(Proof::Undecided {
+                assumptions: asms.clone(),
+                lhs_nf: na,
+                rhs_nf: nb,
+            });
+        };
+        let mut cases = 0;
+        for value in [true, false] {
+            asms.push((cond.clone(), value));
+            let sub = self.prove_under(&na, &nb, asms, splits_left - 1)?;
+            asms.pop();
+            match sub {
+                Proof::Proved { cases: c } => cases += c,
+                undecided @ Proof::Undecided { .. } => return Ok(undecided),
+            }
+        }
+        Ok(Proof::Proved { cases })
+    }
+
+    fn run(
+        &self,
+        term: &Term,
+        trace: Option<Trace>,
+        asms: &Assumptions,
+    ) -> Result<(Normalization, Option<Trace>)> {
+        let mut st = EvalState {
+            remaining: self.fuel,
+            steps: 0,
+            trace,
+        };
+        if let Some(t) = &mut st.trace {
+            t.set_initial(term);
+        }
+        let nf = self.eval(term.clone(), &mut st, asms)?;
+        Ok((
+            Normalization {
+                term: nf,
+                steps: st.steps,
+            },
+            st.trace,
+        ))
+    }
+
+    fn eval(&self, term: Term, st: &mut EvalState, asms: &Assumptions) -> Result<Term> {
+        // Ground-subterm memoization (see `memoizing`): only applications
+        // are worth caching, and only outside assumption contexts and
+        // traces.
+        let memo_key = match &self.memo {
+            Some(_) if asms.is_empty() && !st.tracing() && matches!(term, Term::App(_, _)) => {
+                if term.is_ground() {
+                    let memo = self.memo.as_ref().expect("checked above");
+                    if let Some(hit) = memo.borrow().get(&term) {
+                        return Ok(hit.clone());
+                    }
+                    Some(term.clone())
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        let result = self.eval_loop(term, st, asms)?;
+        if let Some(key) = memo_key {
+            self.memo
+                .as_ref()
+                .expect("key only exists when memoizing")
+                .borrow_mut()
+                .insert(key, result.clone());
+        }
+        Ok(result)
+    }
+
+    fn eval_loop(&self, term: Term, st: &mut EvalState, asms: &Assumptions) -> Result<Term> {
+        let mut current = term;
+        loop {
+            match current {
+                Term::Var(_) | Term::Error(_) => return Ok(current),
+                Term::Ite(ite) => {
+                    let Ite {
+                        cond,
+                        then_branch,
+                        else_branch,
+                    } = *ite;
+                    let cond = self.eval(cond, st, asms)?;
+                    let sig = self.spec.sig();
+                    let decided = if cond == sig.tt() {
+                        Some(true)
+                    } else if cond == sig.ff() {
+                        Some(false)
+                    } else {
+                        lookup(asms, &cond)
+                    };
+                    if let Some(value) = decided {
+                        st.tick(self.fuel)?;
+                        if st.tracing() {
+                            let redex =
+                                Term::ite(cond.clone(), then_branch.clone(), else_branch.clone());
+                            let rule = if value { "if-true" } else { "if-false" };
+                            let taken = if value { &then_branch } else { &else_branch };
+                            st.note(rule, &redex, taken);
+                        }
+                        current = if value { then_branch } else { else_branch };
+                        continue;
+                    }
+                    if cond.is_error() {
+                        st.tick(self.fuel)?;
+                        let sort = then_branch.sort(self.spec.sig())?;
+                        let result = Term::Error(sort);
+                        if st.tracing() {
+                            let redex = Term::ite(cond, then_branch, else_branch);
+                            st.note("strict", &redex, &result);
+                        }
+                        return Ok(result);
+                    }
+                    // Stuck condition that is itself a conditional: lift it.
+                    if let Term::Ite(inner) = cond {
+                        st.tick(self.fuel)?;
+                        let redex = if st.tracing() {
+                            Some(Term::ite(
+                                Term::Ite(inner.clone()),
+                                then_branch.clone(),
+                                else_branch.clone(),
+                            ))
+                        } else {
+                            None
+                        };
+                        let Ite {
+                            cond: c0,
+                            then_branch: a,
+                            else_branch: b,
+                        } = *inner;
+                        let lifted = Term::ite(
+                            c0,
+                            Term::ite(a, then_branch.clone(), else_branch.clone()),
+                            Term::ite(b, then_branch, else_branch),
+                        );
+                        if let Some(redex) = redex {
+                            st.note("if-lift", &redex, &lifted);
+                        }
+                        current = lifted;
+                        continue;
+                    }
+                    // Atomic stuck condition: normalize the branches under
+                    // the corresponding contextual assumption.
+                    let mut then_asms = asms.clone();
+                    then_asms.push((cond.clone(), true));
+                    let t = self.eval(then_branch, st, &then_asms)?;
+                    let mut else_asms = asms.clone();
+                    else_asms.push((cond.clone(), false));
+                    let e = self.eval(else_branch, st, &else_asms)?;
+                    if t == e {
+                        st.tick(self.fuel)?;
+                        if st.tracing() {
+                            let redex = Term::ite(cond.clone(), t.clone(), e.clone());
+                            st.note("if-merge", &redex, &t);
+                        }
+                        return Ok(t);
+                    }
+                    let sig = self.spec.sig();
+                    if t == sig.tt() && e == sig.ff() {
+                        st.tick(self.fuel)?;
+                        if st.tracing() {
+                            let redex = Term::ite(cond.clone(), t, e);
+                            st.note("if-eta", &redex, &cond);
+                        }
+                        return Ok(cond);
+                    }
+                    return Ok(Term::ite(cond, t, e));
+                }
+                Term::App(op, args) => {
+                    let mut new_args = Vec::with_capacity(args.len());
+                    for a in args {
+                        new_args.push(self.eval(a, st, asms)?);
+                    }
+                    // Strict error propagation: any operation applied to an
+                    // argument list containing error is error (paper, §3).
+                    if new_args.iter().any(Term::is_error) {
+                        st.tick(self.fuel)?;
+                        let result = Term::Error(self.spec.sig().op(op).result());
+                        if st.tracing() {
+                            let redex = Term::App(op, new_args);
+                            st.note("strict", &redex, &result);
+                        }
+                        return Ok(result);
+                    }
+                    // A stuck conditional in argument position blocks every
+                    // rule (rules match constructor patterns), so lift it
+                    // out: f(…, if c then x else y, …) becomes
+                    // if c then f(…, x, …) else f(…, y, …). Sound for all
+                    // values of c (true, false, and error, by strictness).
+                    if let Some(idx) = new_args.iter().position(|a| matches!(a, Term::Ite(_))) {
+                        st.tick(self.fuel)?;
+                        let Term::Ite(inner) = new_args[idx].clone() else {
+                            unreachable!("position() just found an Ite");
+                        };
+                        let mut then_args = new_args.clone();
+                        then_args[idx] = inner.then_branch.clone();
+                        let mut else_args = new_args.clone();
+                        else_args[idx] = inner.else_branch.clone();
+                        let lifted = Term::ite(
+                            inner.cond.clone(),
+                            Term::App(op, then_args),
+                            Term::App(op, else_args),
+                        );
+                        if st.tracing() {
+                            let redex = Term::App(op, new_args);
+                            st.note("arg-lift", &redex, &lifted);
+                        }
+                        current = lifted;
+                        continue;
+                    }
+                    let subject = Term::App(op, new_args);
+                    let mut fired = None;
+                    for rule in self.rules.for_head(op) {
+                        if let Some(subst) = match_pattern(rule.lhs(), &subject) {
+                            fired = Some((rule, subst));
+                            break;
+                        }
+                    }
+                    match fired {
+                        Some((rule, subst)) => {
+                            st.tick(self.fuel)?;
+                            let contractum = subst.apply(rule.rhs());
+                            if st.tracing() {
+                                st.note(rule.label(), &subject, &contractum);
+                            }
+                            current = contractum;
+                        }
+                        None => return Ok(subject),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Finds the first stuck boolean condition in a normalized term (the
+/// condition of the outermost conditional, in pre-order).
+fn first_stuck_cond(term: &Term) -> Option<&Term> {
+    match term {
+        Term::Ite(ite) => Some(&ite.cond),
+        Term::App(_, args) => args.iter().find_map(first_stuck_cond),
+        _ => None,
+    }
+}
+
+/// Counts the conditional nodes remaining in a term — a quick measure of
+/// "how symbolic" a normal form still is.
+pub fn residual_conditionals(term: &Term) -> usize {
+    match term {
+        Term::Ite(ite) => {
+            1 + residual_conditionals(&ite.cond)
+                + residual_conditionals(&ite.then_branch)
+                + residual_conditionals(&ite.else_branch)
+        }
+        Term::App(_, args) => args.iter().map(residual_conditionals).sum(),
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_core::{SpecBuilder, VarId};
+
+    /// The full Queue specification of §3 (axioms 1–6), with Item
+    /// instantiated by three constants so ground terms exist.
+    fn queue_spec() -> Spec {
+        let mut b = SpecBuilder::new("Queue");
+        let queue = b.sort("Queue");
+        let item = b.param_sort("Item");
+        let new = b.ctor("NEW", [], queue);
+        let add = b.ctor("ADD", [queue, item], queue);
+        let front = b.op("FRONT", [queue], item);
+        let remove = b.op("REMOVE", [queue], queue);
+        let is_empty = b.op("IS_EMPTY?", [queue], b.bool_sort());
+        b.ctor("A", [], item);
+        b.ctor("B", [], item);
+        b.ctor("C", [], item);
+        let q = b.var("q", queue);
+        let i = b.var("i", item);
+        let qv = Term::Var(q);
+        let iv = Term::Var(i);
+        let tt = b.tt();
+        let ff = b.ff();
+
+        b.axiom("q1", b.app(is_empty, [b.app(new, [])]), tt);
+        b.axiom(
+            "q2",
+            b.app(is_empty, [b.app(add, [qv.clone(), iv.clone()])]),
+            ff,
+        );
+        b.axiom("q3", b.app(front, [b.app(new, [])]), Term::Error(item));
+        b.axiom(
+            "q4",
+            b.app(front, [b.app(add, [qv.clone(), iv.clone()])]),
+            Term::ite(
+                b.app(is_empty, [qv.clone()]),
+                iv.clone(),
+                b.app(front, [qv.clone()]),
+            ),
+        );
+        b.axiom("q5", b.app(remove, [b.app(new, [])]), Term::Error(queue));
+        b.axiom(
+            "q6",
+            b.app(remove, [b.app(add, [qv.clone(), iv.clone()])]),
+            Term::ite(
+                b.app(is_empty, [qv.clone()]),
+                b.app(new, []),
+                b.app(add, [b.app(remove, [qv]), iv]),
+            ),
+        );
+        b.build().unwrap()
+    }
+
+    fn q(spec: &Spec, name: &str, args: Vec<Term>) -> Term {
+        spec.sig().apply(name, args).unwrap()
+    }
+
+    #[test]
+    fn fifo_behaviour_is_derived() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        // FRONT(ADD(ADD(NEW, A), B)) = A — first in, first out.
+        let new = q(&spec, "NEW", vec![]);
+        let a = q(&spec, "A", vec![]);
+        let b = q(&spec, "B", vec![]);
+        let two = q(&spec, "ADD", vec![q(&spec, "ADD", vec![new, a.clone()]), b]);
+        let front = q(&spec, "FRONT", vec![two.clone()]);
+        assert_eq!(rw.normalize(&front).unwrap(), a);
+
+        // REMOVE then FRONT yields B.
+        let removed = q(&spec, "REMOVE", vec![two]);
+        let front2 = q(&spec, "FRONT", vec![removed]);
+        assert_eq!(rw.normalize(&front2).unwrap(), q(&spec, "B", vec![]));
+    }
+
+    #[test]
+    fn boundary_conditions_yield_error() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let item = spec.sig().find_sort("Item").unwrap();
+        let queue = spec.sig().find_sort("Queue").unwrap();
+        let new = q(&spec, "NEW", vec![]);
+        assert_eq!(
+            rw.normalize(&q(&spec, "FRONT", vec![new.clone()])).unwrap(),
+            Term::Error(item)
+        );
+        assert_eq!(
+            rw.normalize(&q(&spec, "REMOVE", vec![new])).unwrap(),
+            Term::Error(queue)
+        );
+    }
+
+    #[test]
+    fn errors_propagate_strictly() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let queue = spec.sig().find_sort("Queue").unwrap();
+        let item = spec.sig().find_sort("Item").unwrap();
+        // ADD(REMOVE(NEW), A) = error, and FRONT of that is error too.
+        let bad = q(
+            &spec,
+            "ADD",
+            vec![
+                q(&spec, "REMOVE", vec![q(&spec, "NEW", vec![])]),
+                q(&spec, "A", vec![]),
+            ],
+        );
+        assert_eq!(rw.normalize(&bad).unwrap(), Term::Error(queue));
+        let front = q(&spec, "FRONT", vec![bad]);
+        assert_eq!(rw.normalize(&front).unwrap(), Term::Error(item));
+    }
+
+    #[test]
+    fn error_in_condition_poisons_conditional() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let item = spec.sig().find_sort("Item").unwrap();
+        let bool_sort = spec.sig().bool_sort();
+        let t = Term::ite(
+            Term::Error(bool_sort),
+            q(&spec, "A", vec![]),
+            q(&spec, "B", vec![]),
+        );
+        assert_eq!(rw.normalize(&t).unwrap(), Term::Error(item));
+    }
+
+    #[test]
+    fn traces_record_the_derivation() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let new = q(&spec, "NEW", vec![]);
+        let a = q(&spec, "A", vec![]);
+        let b = q(&spec, "B", vec![]);
+        let two = q(&spec, "ADD", vec![q(&spec, "ADD", vec![new, a.clone()]), b]);
+        let front = q(&spec, "FRONT", vec![two]);
+        let (nf, trace) = rw.normalize_traced(&front).unwrap();
+        assert_eq!(nf, a);
+        let used = trace.axioms_used();
+        // q4 fires on the outer ADD, q2 decides the emptiness test, then q4
+        // and q1 finish the inner queue.
+        assert_eq!(used, vec!["q4", "q2", "q4", "q1"]);
+        let rendered = trace.render(spec.sig()).to_string();
+        assert!(rendered.contains("FRONT(ADD(ADD(NEW, A), B))"));
+        assert!(rendered.contains("=[q4]=>"));
+    }
+
+    #[test]
+    fn step_counts_are_reported() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let new = q(&spec, "NEW", vec![]);
+        let norm = rw
+            .normalize_full(&q(&spec, "IS_EMPTY?", vec![new]))
+            .unwrap();
+        assert_eq!(norm.term, spec.sig().tt());
+        assert_eq!(norm.steps, 1);
+    }
+
+    #[test]
+    fn symbolic_normal_forms_keep_stuck_conditions() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let qv = Term::Var(spec.sig().find_var("q").unwrap());
+        let iv = Term::Var(spec.sig().find_var("i").unwrap());
+        // FRONT(ADD(q, i)) normalizes to if IS_EMPTY?(q) then i else FRONT(q).
+        let t = q(
+            &spec,
+            "FRONT",
+            vec![q(&spec, "ADD", vec![qv.clone(), iv.clone()])],
+        );
+        let nf = rw.normalize(&t).unwrap();
+        let expected = Term::ite(
+            q(&spec, "IS_EMPTY?", vec![qv.clone()]),
+            iv,
+            q(&spec, "FRONT", vec![qv]),
+        );
+        assert_eq!(nf, expected);
+        assert_eq!(residual_conditionals(&nf), 1);
+    }
+
+    #[test]
+    fn assumptions_decide_stuck_conditions() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let qv = Term::Var(spec.sig().find_var("q").unwrap());
+        let iv = Term::Var(spec.sig().find_var("i").unwrap());
+        let t = q(
+            &spec,
+            "FRONT",
+            vec![q(&spec, "ADD", vec![qv.clone(), iv.clone()])],
+        );
+        let cond = q(&spec, "IS_EMPTY?", vec![qv.clone()]);
+        let under_true = rw.normalize_under(&t, &[(cond.clone(), true)]).unwrap();
+        assert_eq!(under_true, iv);
+        let under_false = rw.normalize_under(&t, &[(cond, false)]).unwrap();
+        assert_eq!(under_false, q(&spec, "FRONT", vec![qv]));
+    }
+
+    #[test]
+    fn branch_merge_and_eta_fire() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let qv = Term::Var(spec.sig().find_var("q").unwrap());
+        let cond = q(&spec, "IS_EMPTY?", vec![qv.clone()]);
+        let a = q(&spec, "A", vec![]);
+        // if IS_EMPTY?(q) then A else A = A.
+        let merged = Term::ite(cond.clone(), a.clone(), a.clone());
+        assert_eq!(rw.normalize(&merged).unwrap(), a);
+        // if IS_EMPTY?(q) then true else false = IS_EMPTY?(q).
+        let eta = Term::ite(cond.clone(), spec.sig().tt(), spec.sig().ff());
+        assert_eq!(rw.normalize(&eta).unwrap(), cond);
+    }
+
+    #[test]
+    fn conditional_lifting_canonicalizes_nested_conditions() {
+        // ite(ite(c, false, u), false, true) == ite(c, true, ite(u, false, true))
+        // — the shape that arises in the Symboltable representation proof.
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let qv = Term::Var(spec.sig().find_var("q").unwrap());
+        let new = q(&spec, "NEW", vec![]);
+        let c = q(&spec, "IS_EMPTY?", vec![qv.clone()]);
+        let u = q(
+            &spec,
+            "IS_EMPTY?",
+            vec![q(&spec, "REMOVE", vec![qv.clone()])],
+        );
+        let tt = spec.sig().tt();
+        let ff = spec.sig().ff();
+        let lhs = Term::ite(
+            Term::ite(c.clone(), ff.clone(), u.clone()),
+            ff.clone(),
+            tt.clone(),
+        );
+        let rhs = Term::ite(c, tt.clone(), Term::ite(u, ff, tt));
+        assert_eq!(rw.normalize(&lhs).unwrap(), rw.normalize(&rhs).unwrap());
+        let _ = new;
+    }
+
+    #[test]
+    fn stuck_conditionals_lift_out_of_argument_positions() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let qv = Term::Var(spec.sig().find_var("q").unwrap());
+        let iv = Term::Var(spec.sig().find_var("i").unwrap());
+        let cond = q(&spec, "IS_EMPTY?", vec![qv.clone()]);
+        let new = q(&spec, "NEW", vec![]);
+        // FRONT(if IS_EMPTY?(q) then NEW else ADD(q, i))
+        let t = q(
+            &spec,
+            "FRONT",
+            vec![Term::ite(
+                cond.clone(),
+                new.clone(),
+                q(&spec, "ADD", vec![qv.clone(), iv.clone()]),
+            )],
+        );
+        let nf = rw.normalize(&t).unwrap();
+        // Lifts to if IS_EMPTY?(q) then FRONT(NEW) else FRONT(ADD(q, i));
+        // FRONT(NEW) = error, and the else branch reduces under the
+        // contextual assumption IS_EMPTY?(q) = false to FRONT(ADD(q,i))'s
+        // else arm, i.e. … = FRONT(q) — wait, with the assumption it picks
+        // the *else* arm of axiom q4's conditional: FRONT(q).
+        let item = spec.sig().find_sort("Item").unwrap();
+        let expected = Term::ite(cond, Term::Error(item), q(&spec, "FRONT", vec![qv]));
+        assert_eq!(nf, expected);
+    }
+
+    #[test]
+    fn prove_equal_splits_on_stuck_conditions() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let qv = Term::Var(spec.sig().find_var("q").unwrap());
+        let iv = Term::Var(spec.sig().find_var("i").unwrap());
+        // FRONT(ADD(q, i)) = if IS_EMPTY?(q) then i else FRONT(q): trivially
+        // provable (it *is* axiom q4), but route it through the prover.
+        let lhs = q(
+            &spec,
+            "FRONT",
+            vec![q(&spec, "ADD", vec![qv.clone(), iv.clone()])],
+        );
+        let rhs = Term::ite(
+            q(&spec, "IS_EMPTY?", vec![qv.clone()]),
+            iv,
+            q(&spec, "FRONT", vec![qv]),
+        );
+        assert!(rw.prove_equal(&lhs, &rhs, 4).unwrap().is_proved());
+    }
+
+    #[test]
+    fn prove_equal_reports_undecided_with_nfs() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let a = q(&spec, "A", vec![]);
+        let b = q(&spec, "B", vec![]);
+        match rw.prove_equal(&a, &b, 4).unwrap() {
+            Proof::Undecided {
+                assumptions,
+                lhs_nf,
+                rhs_nf,
+            } => {
+                assert!(assumptions.is_empty());
+                assert_eq!(lhs_nf, a);
+                assert_eq!(rhs_nf, b);
+            }
+            other => panic!("expected undecided, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_detected() {
+        let mut b = SpecBuilder::new("Loop");
+        let s = b.sort("S");
+        let c = b.ctor("C", [], s);
+        let f = b.op("F", [s], s);
+        let x: VarId = b.var("x", s);
+        // F(x) = F(x): circular.
+        b.axiom("loop", b.app(f, [Term::Var(x)]), b.app(f, [Term::Var(x)]));
+        let spec = b.build().unwrap();
+        let rw = Rewriter::new(&spec).with_fuel(100);
+        let t = spec.sig().apply("F", vec![Term::App(c, vec![])]).unwrap();
+        assert_eq!(
+            rw.normalize(&t),
+            Err(RewriteError::FuelExhausted { limit: 100 })
+        );
+    }
+
+    #[test]
+    fn rules_fire_in_declaration_order() {
+        // Two overlapping rules for the same head: the first declared wins.
+        let mut b = SpecBuilder::new("Order");
+        let s = b.sort("S");
+        let c = b.ctor("C", [], s);
+        let d = b.ctor("D", [], s);
+        let f = b.op("F", [s], s);
+        let x = b.var("x", s);
+        b.axiom("first", b.app(f, [Term::Var(x)]), b.app(c, []));
+        b.axiom("second", b.app(f, [b.app(c, [])]), b.app(d, []));
+        let spec = b.build().unwrap();
+        let rw = Rewriter::new(&spec);
+        let t = spec.sig().apply("F", vec![Term::App(c, vec![])]).unwrap();
+        let (nf, trace) = rw.normalize_traced(&t).unwrap();
+        assert_eq!(nf, Term::App(c, vec![]));
+        assert_eq!(trace.axioms_used(), vec!["first"]);
+    }
+
+    #[test]
+    fn memoizing_rewriter_agrees_with_the_plain_one() {
+        let spec = queue_spec();
+        let plain = Rewriter::new(&spec);
+        let memo = Rewriter::new(&spec).memoizing();
+        // A mix of ground and symbolic terms.
+        let qv = Term::Var(spec.sig().find_var("q").unwrap());
+        let iv = Term::Var(spec.sig().find_var("i").unwrap());
+        let mut ground = q(&spec, "NEW", vec![]);
+        for name in ["A", "B", "C", "A", "B"] {
+            ground = q(&spec, "ADD", vec![ground, q(&spec, name, vec![])]);
+        }
+        let samples = vec![
+            q(&spec, "FRONT", vec![ground.clone()]),
+            q(
+                &spec,
+                "REMOVE",
+                vec![q(&spec, "REMOVE", vec![ground.clone()])],
+            ),
+            q(&spec, "IS_EMPTY?", vec![ground.clone()]),
+            q(&spec, "FRONT", vec![q(&spec, "ADD", vec![qv, iv])]),
+            q(&spec, "REMOVE", vec![q(&spec, "NEW", vec![])]),
+        ];
+        for t in &samples {
+            assert_eq!(plain.normalize(t).unwrap(), memo.normalize(t).unwrap());
+        }
+        // The cache persists across calls: a second normalization of the
+        // big ground term takes zero steps.
+        let again = memo
+            .normalize_full(&q(&spec, "FRONT", vec![ground]))
+            .unwrap();
+        assert_eq!(again.steps, 0);
+    }
+
+    #[test]
+    fn memoization_skips_assumption_contexts() {
+        // A memoizing rewriter must still be correct for prove_equal,
+        // which normalizes under assumptions.
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec).memoizing();
+        let qv = Term::Var(spec.sig().find_var("q").unwrap());
+        let iv = Term::Var(spec.sig().find_var("i").unwrap());
+        let lhs = q(
+            &spec,
+            "FRONT",
+            vec![q(&spec, "ADD", vec![qv.clone(), iv.clone()])],
+        );
+        let rhs = Term::ite(
+            q(&spec, "IS_EMPTY?", vec![qv.clone()]),
+            iv,
+            q(&spec, "FRONT", vec![qv]),
+        );
+        assert!(rw.prove_equal(&lhs, &rhs, 4).unwrap().is_proved());
+    }
+
+    #[test]
+    fn equal_nf_convenience() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let new = q(&spec, "NEW", vec![]);
+        let a = q(&spec, "A", vec![]);
+        // REMOVE(ADD(NEW, A)) == NEW
+        let lhs = q(&spec, "REMOVE", vec![q(&spec, "ADD", vec![new.clone(), a])]);
+        assert!(rw.equal_nf(&lhs, &new).unwrap());
+        let b_ = q(&spec, "B", vec![]);
+        assert!(!rw.equal_nf(&b_, &new).unwrap());
+    }
+}

@@ -1,0 +1,79 @@
+//! Errors raised by the rewrite engine.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised during normalization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RewriteError {
+    /// The fuel limit was reached before a normal form. Either the axiom
+    /// set is non-terminating on this term (e.g. a circular equation) or
+    /// the limit is simply too small for the input.
+    FuelExhausted {
+        /// The configured maximum number of rule applications.
+        limit: u64,
+    },
+    /// A term was ill-sorted where the engine needed its sort (strict
+    /// `error` propagation requires the result sort of a poisoned
+    /// application).
+    IllSorted {
+        /// Human-readable description from the core sort checker.
+        detail: String,
+    },
+    /// A symbolic-interpretation session was misused (e.g. a reference to
+    /// an unbound program variable).
+    Session {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::FuelExhausted { limit } => write!(
+                f,
+                "normalization exceeded the fuel limit of {limit} rule applications \
+                 (non-terminating axiom set, or raise the limit with `with_fuel`)"
+            ),
+            RewriteError::IllSorted { detail } => {
+                write!(f, "term became ill-sorted during rewriting: {detail}")
+            }
+            RewriteError::Session { detail } => {
+                write!(f, "symbolic session error: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for RewriteError {}
+
+impl From<adt_core::CoreError> for RewriteError {
+    fn from(e: adt_core::CoreError) -> Self {
+        RewriteError::IllSorted {
+            detail: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_fuel_limit() {
+        let e = RewriteError::FuelExhausted { limit: 42 };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn core_errors_convert() {
+        let core = adt_core::CoreError::Unknown {
+            kind: "sort",
+            name: "Q".into(),
+        };
+        let e: RewriteError = core.into();
+        assert!(matches!(e, RewriteError::IllSorted { .. }));
+    }
+}

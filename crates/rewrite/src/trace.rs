@@ -1,0 +1,177 @@
+//! Rewrite traces: step-by-step derivations.
+//!
+//! A trace records each rule application during a normalization, in the
+//! style of the derivations the paper carries out by hand, e.g.
+//!
+//! ```text
+//! FRONT(ADD(ADD(NEW, A), B))
+//!   =[q4]=> if IS_EMPTY?(ADD(NEW, A)) then B else FRONT(ADD(NEW, A))
+//!   =[q2]=> if false then B else FRONT(ADD(NEW, A))
+//!   ...
+//! ```
+
+use std::fmt;
+
+use adt_core::{display, Signature, Term};
+
+/// One rewrite step: the rule that fired and the redex/contractum pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Label of the rule that fired (axiom label, or a built-in tag such as
+    /// `"if-true"`, `"if-false"`, `"if-lift"`, `"if-merge"`, `"strict"`).
+    pub rule: String,
+    /// The subterm that was rewritten.
+    pub redex: Term,
+    /// What it was rewritten to.
+    pub contractum: Term,
+}
+
+/// A complete derivation: the initial term and every step taken.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    initial: Option<Term>,
+    steps: Vec<Step>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    pub(crate) fn set_initial(&mut self, term: &Term) {
+        if self.initial.is_none() {
+            self.initial = Some(term.clone());
+        }
+    }
+
+    pub(crate) fn record(&mut self, rule: &str, redex: &Term, contractum: &Term) {
+        self.steps.push(Step {
+            rule: rule.to_owned(),
+            redex: redex.clone(),
+            contractum: contractum.clone(),
+        });
+    }
+
+    /// The term the derivation started from, if any step was recorded.
+    pub fn initial(&self) -> Option<&Term> {
+        self.initial.as_ref()
+    }
+
+    /// All recorded steps, in order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Number of recorded steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether no steps were recorded (the term was already normal).
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Labels of the axioms used, in firing order (built-in reductions
+    /// excluded). Useful for asserting *which* axioms a derivation used.
+    pub fn axioms_used(&self) -> Vec<&str> {
+        self.steps
+            .iter()
+            .map(|s| s.rule.as_str())
+            .filter(|r| {
+                !matches!(
+                    *r,
+                    "if-true"
+                        | "if-false"
+                        | "if-lift"
+                        | "if-merge"
+                        | "if-eta"
+                        | "arg-lift"
+                        | "strict"
+                )
+            })
+            .collect()
+    }
+
+    /// Renders the derivation against a signature.
+    pub fn render<'a>(&'a self, sig: &'a Signature) -> TraceDisplay<'a> {
+        TraceDisplay { trace: self, sig }
+    }
+}
+
+/// [`fmt::Display`] adapter for a [`Trace`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceDisplay<'a> {
+    trace: &'a Trace,
+    sig: &'a Signature,
+}
+
+impl fmt::Display for TraceDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(initial) = &self.trace.initial {
+            writeln!(f, "{}", display::term(self.sig, initial))?;
+        }
+        for step in &self.trace.steps {
+            writeln!(
+                f,
+                "  =[{}]=> {} ~> {}",
+                step.rule,
+                display::term(self.sig, &step.redex),
+                display::term(self.sig, &step.contractum)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adt_core::SpecBuilder;
+
+    #[test]
+    fn trace_records_and_renders() {
+        let mut b = SpecBuilder::new("T");
+        let s = b.sort("S");
+        let c = b.ctor("C", [], s);
+        let f_op = b.op("F", [s], s);
+        let spec_term = b.app(f_op, [b.app(c, [])]);
+        let c_term = b.app(c, []);
+        let spec = {
+            let b2 = b;
+            // no axioms needed for the trace test
+            b2.build().unwrap()
+        };
+
+        let mut trace = Trace::new();
+        assert!(trace.is_empty());
+        trace.set_initial(&spec_term);
+        trace.record("a1", &spec_term, &c_term);
+        trace.record("if-true", &c_term, &c_term);
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.axioms_used(), vec!["a1"]);
+        assert_eq!(trace.initial(), Some(&spec_term));
+
+        let rendered = trace.render(spec.sig()).to_string();
+        assert!(rendered.contains("F(C)"));
+        assert!(rendered.contains("=[a1]=>"));
+        assert!(rendered.contains("=[if-true]=>"));
+    }
+
+    #[test]
+    fn set_initial_only_keeps_first() {
+        let mut b = SpecBuilder::new("T");
+        let s = b.sort("S");
+        let c = b.ctor("C", [], s);
+        let d = b.ctor("D", [], s);
+        let ct = b.app(c, []);
+        let dt = b.app(d, []);
+        let _spec = b.build().unwrap();
+
+        let mut trace = Trace::new();
+        trace.set_initial(&ct);
+        trace.set_initial(&dt);
+        assert_eq!(trace.initial(), Some(&ct));
+    }
+}

@@ -1,0 +1,304 @@
+//! A growable ring-buffer FIFO queue — the efficient implementation of
+//! the paper's Queue (§3), built from scratch.
+
+use std::fmt;
+
+/// A first-in–first-out queue over a growable circular buffer.
+///
+/// The contiguous buffer with wrap-around gives O(1) `add`, `remove` and
+/// `front` with amortized O(1) growth — the "efficient implementation"
+/// that an algebraic specification deliberately does *not* commit to
+/// until the access patterns are known (§5).
+///
+/// ```
+/// use adt_structures::Fifo;
+///
+/// let mut q = Fifo::new();
+/// q.add(1);
+/// q.add(2);
+/// q.add(3);
+/// assert_eq!(q.front(), Some(&1));
+/// assert_eq!(q.remove(), Some(1));
+/// assert_eq!(q.remove(), Some(2));
+/// assert_eq!(q.len(), 1);
+/// ```
+#[derive(Clone)]
+pub struct Fifo<T> {
+    buf: Vec<Option<T>>,
+    head: usize,
+    len: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Fifo {
+            buf: Vec::new(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty queue with room for `capacity` elements before
+    /// the first reallocation.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let mut buf = Vec::with_capacity(capacity);
+        buf.resize_with(capacity, || None);
+        Fifo {
+            buf,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// The paper's `IS_EMPTY?`.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Current buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// The paper's `ADD`: enqueues at the back. O(1) amortized.
+    pub fn add(&mut self, value: T) {
+        if self.len == self.buf.len() {
+            self.grow();
+        }
+        let tail = self.wrap(self.head + self.len);
+        debug_assert!(self.buf[tail].is_none());
+        self.buf[tail] = Some(value);
+        self.len += 1;
+    }
+
+    /// The paper's `FRONT`: the element that has been queued longest, or
+    /// `None` if the queue is empty (the specification's `error` case).
+    pub fn front(&self) -> Option<&T> {
+        if self.len == 0 {
+            return None;
+        }
+        self.buf[self.head].as_ref()
+    }
+
+    /// The paper's `REMOVE`: dequeues from the front, or `None` if the
+    /// queue is empty (the specification's `error` case).
+    pub fn remove(&mut self) -> Option<T> {
+        if self.len == 0 {
+            return None;
+        }
+        let value = self.buf[self.head].take();
+        self.head = self.wrap(self.head + 1);
+        self.len -= 1;
+        value
+    }
+
+    /// Iterates front-to-back.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter {
+            fifo: self,
+            offset: 0,
+        }
+    }
+
+    fn wrap(&self, i: usize) -> usize {
+        if self.buf.is_empty() {
+            0
+        } else {
+            i % self.buf.len()
+        }
+    }
+
+    fn grow(&mut self) {
+        let old_cap = self.buf.len();
+        let new_cap = (old_cap * 2).max(4);
+        let mut new_buf = Vec::with_capacity(new_cap);
+        new_buf.resize_with(new_cap, || None);
+        for (k, slot) in new_buf.iter_mut().enumerate().take(self.len) {
+            let idx = self.wrap(self.head + k);
+            *slot = self.buf[idx].take();
+        }
+        self.buf = new_buf;
+        self.head = 0;
+    }
+}
+
+impl<T> Default for Fifo<T> {
+    fn default() -> Self {
+        Fifo::new()
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Fifo<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
+impl<T: PartialEq> PartialEq for Fifo<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.iter().zip(other.iter()).all(|(a, b)| a == b)
+    }
+}
+
+impl<T: Eq> Eq for Fifo<T> {}
+
+impl<T> FromIterator<T> for Fifo<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut q = Fifo::new();
+        for v in iter {
+            q.add(v);
+        }
+        q
+    }
+}
+
+impl<T> Extend<T> for Fifo<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.add(v);
+        }
+    }
+}
+
+/// Front-to-back iterator over a [`Fifo`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a, T> {
+    fifo: &'a Fifo<T>,
+    offset: usize,
+}
+
+impl<'a, T> Iterator for Iter<'a, T> {
+    type Item = &'a T;
+
+    fn next(&mut self) -> Option<&'a T> {
+        if self.offset >= self.fifo.len {
+            return None;
+        }
+        let idx = self.fifo.wrap(self.fifo.head + self.offset);
+        self.offset += 1;
+        self.fifo.buf[idx].as_ref()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.fifo.len - self.offset;
+        (remaining, Some(remaining))
+    }
+}
+
+impl<'a, T> ExactSizeIterator for Iter<'a, T> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut q = Fifo::new();
+        for i in 0..10 {
+            q.add(i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.front(), Some(&i));
+            assert_eq!(q.remove(), Some(i));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.remove(), None);
+        assert_eq!(q.front(), None);
+    }
+
+    #[test]
+    fn wraparound_after_interleaved_ops() {
+        let mut q = Fifo::with_capacity(4);
+        q.add(1);
+        q.add(2);
+        assert_eq!(q.remove(), Some(1));
+        q.add(3);
+        q.add(4);
+        q.add(5); // head has advanced; tail wraps
+        assert_eq!(q.capacity(), 4);
+        let collected: Vec<_> = q.iter().copied().collect();
+        assert_eq!(collected, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn growth_preserves_order_and_contents() {
+        let mut q = Fifo::with_capacity(2);
+        q.add(1);
+        q.add(2);
+        assert_eq!(q.remove(), Some(1));
+        q.add(3);
+        q.add(4); // forces growth with wrapped layout
+        q.add(5);
+        let collected: Vec<_> = q.iter().copied().collect();
+        assert_eq!(collected, vec![2, 3, 4, 5]);
+        assert!(q.capacity() >= 4);
+    }
+
+    #[test]
+    fn equality_is_by_content_not_layout() {
+        // Two queues with the same elements but different internal phase.
+        let mut a = Fifo::with_capacity(4);
+        a.add(1);
+        a.add(2);
+        let mut b = Fifo::with_capacity(4);
+        b.add(0);
+        b.add(1);
+        b.remove();
+        b.add(2);
+        assert_ne!(a.head, b.head); // different representations…
+        assert_eq!(a, b); // …same abstract value (Φ⁻¹ is one-to-many)
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut q: Fifo<i32> = (1..=3).collect();
+        q.extend(4..=5);
+        let collected: Vec<_> = q.iter().copied().collect();
+        assert_eq!(collected, vec![1, 2, 3, 4, 5]);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.iter().len(), 5);
+    }
+
+    #[test]
+    fn debug_renders_contents() {
+        let q: Fifo<i32> = (1..=3).collect();
+        assert_eq!(format!("{q:?}"), "[1, 2, 3]");
+        let empty: Fifo<i32> = Fifo::default();
+        assert_eq!(format!("{empty:?}"), "[]");
+    }
+
+    #[test]
+    fn stress_against_a_reference_model() {
+        // Deterministic pseudo-random interleaving vs a Vec model.
+        let mut q = Fifo::new();
+        let mut model: Vec<u32> = Vec::new();
+        let mut state: u64 = 42;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let op = state >> 60;
+            if op < 9 {
+                let v = (state >> 10) as u32;
+                q.add(v);
+                model.push(v);
+            } else {
+                let got = q.remove();
+                let expected = if model.is_empty() {
+                    None
+                } else {
+                    Some(model.remove(0))
+                };
+                assert_eq!(got, expected);
+            }
+            assert_eq!(q.len(), model.len());
+            assert_eq!(q.front(), model.first());
+        }
+        let final_contents: Vec<u32> = q.iter().copied().collect();
+        assert_eq!(final_contents, model);
+    }
+}

@@ -1,0 +1,244 @@
+//! Knows lists and the knows-list symbol table (§4, end).
+//!
+//! "Assume that the language permits the inheritance of global variables
+//! only if they appear in a 'knows list,' which lists, at block entry,
+//! all nonlocal variables to be used within the block."
+
+use std::fmt;
+
+use crate::hash_array::{HashArray, ScopeArray};
+use crate::ident::{AttrList, Ident};
+use crate::symbol_table::ScopeError;
+
+/// The abstract type Knowlist: `CREATE`, `APPEND`, `IS_IN?`.
+///
+/// ```
+/// use adt_structures::{Ident, KnowList};
+///
+/// let kl = KnowList::create().append(Ident::new("x"));
+/// assert!(kl.is_in(&Ident::new("x")));
+/// assert!(!kl.is_in(&Ident::new("y")));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KnowList {
+    ids: Vec<Ident>,
+}
+
+impl KnowList {
+    /// The paper's `CREATE`.
+    pub fn create() -> Self {
+        KnowList::default()
+    }
+
+    /// The paper's `APPEND`, builder-style.
+    #[must_use]
+    pub fn append(mut self, id: Ident) -> Self {
+        self.ids.push(id);
+        self
+    }
+
+    /// The paper's `IS_IN?`.
+    pub fn is_in(&self, id: &Ident) -> bool {
+        self.ids.iter().any(|k| k.same(id))
+    }
+
+    /// Number of listed identifiers.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+}
+
+impl FromIterator<Ident> for KnowList {
+    fn from_iter<I: IntoIterator<Item = Ident>>(iter: I) -> Self {
+        KnowList {
+            ids: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for KnowList {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("knows(")?;
+        for (i, id) in self.ids.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{id}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// A symbol table for a language with knows-list visibility: entering a
+/// block names exactly the nonlocal identifiers the block may use.
+///
+/// Retrieval follows the modified axiom 8: a lookup that falls through a
+/// block boundary succeeds only if the identifier is on that block's
+/// knows list.
+#[derive(Debug, Clone)]
+pub struct SymbolTableKl<A: ScopeArray<AttrList> = HashArray<AttrList>> {
+    /// Innermost last. The outermost block has no knows list.
+    blocks: Vec<(Option<KnowList>, A)>,
+}
+
+impl<A: ScopeArray<AttrList>> SymbolTableKl<A> {
+    /// The paper's `INIT`.
+    pub fn init() -> Self {
+        SymbolTableKl {
+            blocks: vec![(None, A::empty())],
+        }
+    }
+
+    /// The modified `ENTERBLOCK(symtab, klist)`.
+    pub fn enter_block(&mut self, knows: KnowList) {
+        self.blocks.push((Some(knows), A::empty()));
+    }
+
+    /// `LEAVEBLOCK`, as before.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScopeError::LeaveOutermost`] on the outermost block.
+    pub fn leave_block(&mut self) -> Result<(), ScopeError> {
+        if self.blocks.len() <= 1 {
+            return Err(ScopeError::LeaveOutermost);
+        }
+        self.blocks.pop();
+        Ok(())
+    }
+
+    /// `ADD`, as before.
+    pub fn add(&mut self, id: Ident, attrs: AttrList) {
+        let last = self
+            .blocks
+            .last_mut()
+            .expect("at least one scope exists by construction");
+        last.1.assign(id, attrs);
+    }
+
+    /// `IS_INBLOCK?`, as before.
+    pub fn is_in_block(&self, id: &Ident) -> bool {
+        self.blocks
+            .last()
+            .map(|(_, b)| !b.is_undefined(id))
+            .unwrap_or(false)
+    }
+
+    /// The modified `RETRIEVE`: searches outward, but only through block
+    /// boundaries whose knows list mentions `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScopeError::Undeclared`] if `id` is not visible — either
+    /// undeclared, or hidden by a knows list on the way out.
+    pub fn retrieve(&self, id: &Ident) -> Result<&AttrList, ScopeError> {
+        for (knows, block) in self.blocks.iter().rev() {
+            if let Some(attrs) = block.read(id) {
+                return Ok(attrs);
+            }
+            // Falling through this block's boundary requires permission.
+            if let Some(kl) = knows {
+                if !kl.is_in(id) {
+                    return Err(ScopeError::Undeclared);
+                }
+            }
+        }
+        Err(ScopeError::Undeclared)
+    }
+
+    /// Current nesting depth.
+    pub fn depth(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+impl<A: ScopeArray<AttrList>> Default for SymbolTableKl<A> {
+    fn default() -> Self {
+        SymbolTableKl::init()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(s: &str) -> Ident {
+        Ident::new(s)
+    }
+
+    fn attrs(t: &str) -> AttrList {
+        AttrList::new().with("type", t)
+    }
+
+    #[test]
+    fn knowlist_membership() {
+        let kl: KnowList = [id("a"), id("b")].into_iter().collect();
+        assert!(kl.is_in(&id("a")));
+        assert!(kl.is_in(&id("b")));
+        assert!(!kl.is_in(&id("c")));
+        assert_eq!(kl.len(), 2);
+        assert!(!kl.is_empty());
+        assert!(KnowList::create().is_empty());
+        assert_eq!(kl.to_string(), "knows(a, b)");
+    }
+
+    #[test]
+    fn knows_list_gates_global_visibility() {
+        let mut st: SymbolTableKl = SymbolTableKl::init();
+        st.add(id("x"), attrs("integer"));
+        st.add(id("y"), attrs("boolean"));
+        st.enter_block(KnowList::create().append(id("x")));
+        // x is known; y is hidden.
+        assert!(st.retrieve(&id("x")).is_ok());
+        assert_eq!(st.retrieve(&id("y")), Err(ScopeError::Undeclared));
+        // Locals are always visible.
+        st.add(id("z"), attrs("real"));
+        assert!(st.retrieve(&id("z")).is_ok());
+    }
+
+    #[test]
+    fn knows_lists_compose_across_nesting() {
+        let mut st: SymbolTableKl = SymbolTableKl::init();
+        st.add(id("g"), attrs("integer"));
+        // Inner block 1 knows g.
+        st.enter_block(KnowList::create().append(id("g")));
+        assert!(st.retrieve(&id("g")).is_ok());
+        // Inner block 2 does NOT list g: even though block 1 could see it,
+        // block 2 cannot.
+        st.enter_block(KnowList::create());
+        assert_eq!(st.retrieve(&id("g")), Err(ScopeError::Undeclared));
+        // Inner block 3 lists g, but the chain is still broken at block 2.
+        st.enter_block(KnowList::create().append(id("g")));
+        assert_eq!(st.retrieve(&id("g")), Err(ScopeError::Undeclared));
+        st.leave_block().unwrap();
+        st.leave_block().unwrap();
+        assert!(st.retrieve(&id("g")).is_ok());
+    }
+
+    #[test]
+    fn local_shadowing_still_wins() {
+        let mut st: SymbolTableKl = SymbolTableKl::init();
+        st.add(id("x"), attrs("integer"));
+        st.enter_block(KnowList::create().append(id("x")));
+        st.add(id("x"), attrs("real"));
+        assert_eq!(st.retrieve(&id("x")).unwrap().get("type"), Some("real"));
+        st.leave_block().unwrap();
+        assert_eq!(st.retrieve(&id("x")).unwrap().get("type"), Some("integer"));
+    }
+
+    #[test]
+    fn boundary_behaviour_matches_the_base_table() {
+        let mut st: SymbolTableKl = SymbolTableKl::init();
+        assert_eq!(st.leave_block(), Err(ScopeError::LeaveOutermost));
+        assert_eq!(st.retrieve(&id("nope")), Err(ScopeError::Undeclared));
+        assert_eq!(st.depth(), 1);
+        st.enter_block(KnowList::create());
+        assert_eq!(st.depth(), 2);
+        assert!(!st.is_in_block(&id("nope")));
+    }
+}

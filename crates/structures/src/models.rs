@@ -1,0 +1,609 @@
+//! Wiring the Rust implementations to their specifications.
+//!
+//! Each `*_model` function returns an [`adt_verify::TableModel`] that
+//! interprets a specification's operations with the corresponding concrete
+//! data structure, so `adt_verify::check_axioms` can test the paper's
+//! axioms against real code, and `adt_verify::check_representation` can
+//! test the abstraction functions Φ.
+//!
+//! Value encodings: elements of parameter sorts are carried as
+//! [`MValue::Str`] holding the *constructor name* (`"A"`, `"ID_X"`, …),
+//! which makes the Φ functions trivially exact.
+
+use adt_core::{Spec, Term};
+use adt_verify::{MValue, ModelBuilder, TableModel};
+
+use crate::fifo::Fifo;
+use crate::hash_array::{HashArray, ScopeArray};
+use crate::ident::{AttrList, Ident};
+use crate::linked_stack::LinkedStack;
+use crate::ring::RingQueue;
+use crate::symbol_table::SymbolTable;
+
+/// A model of the Queue specification ([`crate::specs::queue_spec`]) over
+/// the growable ring-buffer [`Fifo`].
+pub fn fifo_model(spec: &Spec) -> TableModel<'_> {
+    let fifo = |v: &MValue| -> Fifo<String> { v.downcast::<Fifo<String>>().unwrap().clone() };
+    let mut b = ModelBuilder::new(spec)
+        .op("NEW", |_| MValue::data(Fifo::<String>::new()))
+        .op("ADD", move |args| {
+            let mut q = fifo(&args[0]);
+            q.add(args[1].as_str().unwrap().to_owned());
+            MValue::data(q)
+        })
+        .op("FRONT", move |args| match fifo(&args[0]).front() {
+            Some(s) => MValue::Str(s.clone()),
+            None => MValue::Error,
+        })
+        .op("REMOVE", move |args| {
+            let mut q = fifo(&args[0]);
+            match q.remove() {
+                Some(_) => MValue::data(q),
+                None => MValue::Error,
+            }
+        })
+        .op("IS_EMPTY?", move |args| {
+            MValue::Bool(fifo(&args[0]).is_empty())
+        })
+        .eq("Queue", move |a, b| {
+            a.downcast::<Fifo<String>>()
+                .zip(b.downcast::<Fifo<String>>())
+                .map(|(x, y)| x == y)
+                .unwrap_or(false)
+        });
+    for item in ["A", "B", "C"] {
+        b = b.op(item, move |_| MValue::Str(item.to_owned()));
+    }
+    b.build().expect("the Queue model is total")
+}
+
+/// The abstraction function Φ for [`fifo_model`]: a FIFO value becomes the
+/// `ADD` chain that enqueues its elements oldest-first.
+pub fn fifo_phi(spec: &Spec) -> impl Fn(&MValue) -> Term + '_ {
+    move |v: &MValue| {
+        let q = v.downcast::<Fifo<String>>().expect("a Queue value");
+        let new = spec.sig().op_named("NEW").expect("NEW exists");
+        let add = spec.sig().op_named("ADD").expect("ADD exists");
+        let mut t = Term::constant(new);
+        for item in q.iter() {
+            let item_op = spec.sig().op_named(item).expect("item constant exists");
+            t = Term::App(add, vec![t, Term::constant(item_op)]);
+        }
+        t
+    }
+}
+
+/// A model of the *same* Queue specification over the fixed-capacity
+/// [`RingQueue`]: adding to a full ring is `error`. Correct only for
+/// workloads that stay within `capacity` — a *conditionally correct*
+/// representation, checked under the [`max_add_chain`] assumption.
+pub fn ring_model(spec: &Spec, capacity: usize) -> TableModel<'_> {
+    let ring =
+        |v: &MValue| -> RingQueue<String> { v.downcast::<RingQueue<String>>().unwrap().clone() };
+    let mut b = ModelBuilder::new(spec)
+        .op("NEW", move |_| {
+            MValue::data(RingQueue::<String>::new(capacity))
+        })
+        .op("ADD", move |args| {
+            let mut q = ring(&args[0]);
+            match q.add(args[1].as_str().unwrap().to_owned()) {
+                Ok(()) => MValue::data(q),
+                Err(_) => MValue::Error,
+            }
+        })
+        .op("FRONT", move |args| match ring(&args[0]).front() {
+            Some(s) => MValue::Str(s.clone()),
+            None => MValue::Error,
+        })
+        .op("REMOVE", move |args| {
+            let mut q = ring(&args[0]);
+            match q.remove() {
+                Some(_) => MValue::data(q),
+                None => MValue::Error,
+            }
+        })
+        .op("IS_EMPTY?", move |args| {
+            MValue::Bool(ring(&args[0]).is_empty())
+        })
+        .eq("Queue", move |a, b| {
+            // Equality of bounded queues is Φ-equality: same live elements
+            // in order, regardless of physical layout (Φ⁻¹ one-to-many).
+            a.downcast::<RingQueue<String>>()
+                .zip(b.downcast::<RingQueue<String>>())
+                .map(|(x, y)| x.abstract_value() == y.abstract_value())
+                .unwrap_or(false)
+        });
+    for item in ["A", "B", "C"] {
+        b = b.op(item, move |_| MValue::Str(item.to_owned()));
+    }
+    b.build().expect("the bounded Queue model is total")
+}
+
+/// The abstraction function Φ for [`ring_model`]: the live elements,
+/// oldest-first, as an `ADD` chain — by construction independent of the
+/// ring's physical layout.
+pub fn ring_phi(spec: &Spec) -> impl Fn(&MValue) -> Term + '_ {
+    move |v: &MValue| {
+        let q = v.downcast::<RingQueue<String>>().expect("a Queue value");
+        let new = spec.sig().op_named("NEW").expect("NEW exists");
+        let add = spec.sig().op_named("ADD").expect("ADD exists");
+        let mut t = Term::constant(new);
+        for item in q.abstract_value() {
+            let item_op = spec.sig().op_named(item).expect("item constant exists");
+            t = Term::App(add, vec![t, Term::constant(item_op)]);
+        }
+        t
+    }
+}
+
+/// A model of the Queue specification over the
+/// [`TwoStackQueue`](crate::TwoStackQueue) — the
+/// representation whose Φ⁻¹ is the most dramatically one-to-many (every
+/// front/back split of the same sequence is a distinct concrete state).
+pub fn two_stack_model(spec: &Spec) -> TableModel<'_> {
+    use crate::two_stack_queue::TwoStackQueue;
+    let tsq = |v: &MValue| -> TwoStackQueue<String> {
+        v.downcast::<TwoStackQueue<String>>().unwrap().clone()
+    };
+    let mut b = ModelBuilder::new(spec)
+        .op("NEW", |_| MValue::data(TwoStackQueue::<String>::new()))
+        .op("ADD", move |args| {
+            let mut q = tsq(&args[0]);
+            q.add(args[1].as_str().unwrap().to_owned());
+            MValue::data(q)
+        })
+        .op("FRONT", move |args| {
+            let mut q = tsq(&args[0]);
+            match q.front() {
+                Some(s) => MValue::Str(s.clone()),
+                None => MValue::Error,
+            }
+        })
+        .op("REMOVE", move |args| {
+            let mut q = tsq(&args[0]);
+            match q.remove() {
+                Some(_) => MValue::data(q),
+                None => MValue::Error,
+            }
+        })
+        .op("IS_EMPTY?", move |args| {
+            MValue::Bool(tsq(&args[0]).is_empty())
+        })
+        .eq("Queue", move |a, b| {
+            a.downcast::<TwoStackQueue<String>>()
+                .zip(b.downcast::<TwoStackQueue<String>>())
+                .map(|(x, y)| x == y) // Φ-equality
+                .unwrap_or(false)
+        });
+    for item in ["A", "B", "C"] {
+        b = b.op(item, move |_| MValue::Str(item.to_owned()));
+    }
+    b.build().expect("the two-stack Queue model is total")
+}
+
+/// The abstraction function Φ for [`two_stack_model`]:
+/// `front ++ reverse(back)` as an `ADD` chain.
+pub fn two_stack_phi(spec: &Spec) -> impl Fn(&MValue) -> Term + '_ {
+    use crate::two_stack_queue::TwoStackQueue;
+    move |v: &MValue| {
+        let q = v
+            .downcast::<TwoStackQueue<String>>()
+            .expect("a Queue value");
+        let new = spec.sig().op_named("NEW").expect("NEW exists");
+        let add = spec.sig().op_named("ADD").expect("ADD exists");
+        let mut t = Term::constant(new);
+        for item in q.abstract_value() {
+            let item_op = spec.sig().op_named(&item).expect("item constant exists");
+            t = Term::App(add, vec![t, Term::constant(item_op)]);
+        }
+        t
+    }
+}
+
+/// The deepest `ADD` nesting anywhere in `term` — an upper bound on the
+/// number of simultaneously live queue elements, used as the environment
+/// assumption for the bounded ring ("programs never hold more than
+/// `capacity` elements at once").
+pub fn max_add_chain(spec: &Spec, term: &Term) -> usize {
+    let add = spec.sig().find_op("ADD");
+    fn walk(t: &Term, add: Option<adt_core::OpId>) -> usize {
+        match t {
+            Term::App(op, args) => {
+                let inner = args.iter().map(|a| walk(a, add)).max().unwrap_or(0);
+                if Some(*op) == add {
+                    inner + 1
+                } else {
+                    inner
+                }
+            }
+            Term::Ite(ite) => walk(&ite.cond, add)
+                .max(walk(&ite.then_branch, add))
+                .max(walk(&ite.else_branch, add)),
+            _ => 0,
+        }
+    }
+    walk(term, add)
+}
+
+/// A model of the Stack specification ([`crate::specs::stack_spec`]) over
+/// the persistent [`LinkedStack`].
+pub fn stack_model(spec: &Spec) -> TableModel<'_> {
+    let stack = |v: &MValue| -> LinkedStack<String> {
+        v.downcast::<LinkedStack<String>>().unwrap().clone()
+    };
+    let mut b = ModelBuilder::new(spec)
+        .op("NEWSTACK", |_| MValue::data(LinkedStack::<String>::new()))
+        .op("PUSH", move |args| {
+            MValue::data(stack(&args[0]).push(args[1].as_str().unwrap().to_owned()))
+        })
+        .op("POP", move |args| match stack(&args[0]).pop() {
+            Some(s) => MValue::data(s),
+            None => MValue::Error,
+        })
+        .op("TOP", move |args| match stack(&args[0]).top() {
+            Some(s) => MValue::Str(s.clone()),
+            None => MValue::Error,
+        })
+        .op("IS_NEWSTACK?", move |args| {
+            MValue::Bool(stack(&args[0]).is_new())
+        })
+        .op("REPLACE", move |args| {
+            match stack(&args[0]).replace(args[1].as_str().unwrap().to_owned()) {
+                Some(s) => MValue::data(s),
+                None => MValue::Error,
+            }
+        })
+        .eq("Stack", move |a, b| {
+            a.downcast::<LinkedStack<String>>()
+                .zip(b.downcast::<LinkedStack<String>>())
+                .map(|(x, y)| x == y)
+                .unwrap_or(false)
+        });
+    for e in ["E1", "E2"] {
+        b = b.op(e, move |_| MValue::Str(e.to_owned()));
+    }
+    b.build().expect("the Stack model is total")
+}
+
+/// The abstraction function Φ for [`stack_model`]: a stack value becomes
+/// the `PUSH` chain that builds it bottom-up.
+pub fn stack_phi(spec: &Spec) -> impl Fn(&MValue) -> Term + '_ {
+    move |v: &MValue| {
+        let s = v.downcast::<LinkedStack<String>>().expect("a Stack value");
+        let newstack = spec.sig().op_named("NEWSTACK").expect("NEWSTACK exists");
+        let push = spec.sig().op_named("PUSH").expect("PUSH exists");
+        let mut items: Vec<&String> = s.iter().collect();
+        items.reverse(); // bottom-up
+        let mut t = Term::constant(newstack);
+        for item in items {
+            let e = spec.sig().op_named(item).expect("element constant exists");
+            t = Term::App(push, vec![t, Term::constant(e)]);
+        }
+        t
+    }
+}
+
+/// The sample-identifier universe shared by the Array and Symboltable
+/// models.
+pub fn sample_ident_universe() -> Vec<Ident> {
+    crate::specs::SAMPLE_IDENTIFIERS
+        .iter()
+        .map(|s| Ident::new(*s))
+        .collect()
+}
+
+/// A model of the Array specification ([`crate::specs::array_spec`]) over
+/// any [`ScopeArray`] representation. Equality at sort `Array` is
+/// observational: two arrays are equal when `READ` agrees on every
+/// sample identifier (what axioms 17–20 let a client see).
+pub fn array_model_with<A>(spec: &Spec) -> TableModel<'_>
+where
+    A: ScopeArray<String> + 'static,
+{
+    let arr = |v: &MValue| -> A { v.downcast::<A>().unwrap().clone() };
+    let mut b = ModelBuilder::new(spec)
+        .op("EMPTY", |_| MValue::data(A::empty()))
+        .op("ASSIGN", move |args| {
+            let mut a = arr(&args[0]);
+            a.assign(
+                Ident::new(args[1].as_str().unwrap()),
+                args[2].as_str().unwrap().to_owned(),
+            );
+            MValue::data(a)
+        })
+        .op("READ", move |args| {
+            match arr(&args[0]).read(&Ident::new(args[1].as_str().unwrap())) {
+                Some(v) => MValue::Str(v.clone()),
+                None => MValue::Error,
+            }
+        })
+        .op("IS_UNDEFINED?", move |args| {
+            MValue::Bool(arr(&args[0]).is_undefined(&Ident::new(args[1].as_str().unwrap())))
+        })
+        .op("ISSAME?", |args| {
+            MValue::Bool(args[0].as_str() == args[1].as_str())
+        })
+        .eq("Array", move |a, b| {
+            let (x, y) = match (a.downcast::<A>(), b.downcast::<A>()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => return false,
+            };
+            sample_ident_universe()
+                .iter()
+                .all(|id| x.read(id) == y.read(id))
+        });
+    for name in crate::specs::SAMPLE_IDENTIFIERS
+        .iter()
+        .chain(crate::specs::SAMPLE_ATTRIBUTES.iter())
+    {
+        let owned = (*name).to_owned();
+        b = b.op(name, move |_| MValue::Str(owned.clone()));
+    }
+    b.build().expect("the Array model is total")
+}
+
+/// [`array_model_with`] instantiated with the paper's chained
+/// [`HashArray`].
+pub fn array_model(spec: &Spec) -> TableModel<'_> {
+    array_model_with::<HashArray<String>>(spec)
+}
+
+/// A model of the Set specification ([`crate::specs::set_spec`]) over the
+/// canonical [`SortedSet`](crate::SortedSet); equality is structural
+/// because the representation is canonical.
+pub fn set_model(spec: &Spec) -> TableModel<'_> {
+    use crate::sorted_set::SortedSet;
+    let set =
+        |v: &MValue| -> SortedSet<String> { v.downcast::<SortedSet<String>>().unwrap().clone() };
+    let mut b = ModelBuilder::new(spec)
+        .op("EMPTYSET", |_| MValue::data(SortedSet::<String>::new()))
+        .op("INSERT", move |args| {
+            let mut s = set(&args[0]);
+            s.insert(args[1].as_str().unwrap().to_owned());
+            MValue::data(s)
+        })
+        .op("MEMBER?", move |args| {
+            MValue::Bool(set(&args[0]).contains(&args[1].as_str().unwrap().to_owned()))
+        })
+        .op("DELETE", move |args| {
+            let mut s = set(&args[0]);
+            s.remove(&args[1].as_str().unwrap().to_owned());
+            MValue::data(s)
+        })
+        .op("IS_EMPTYSET?", move |args| {
+            MValue::Bool(set(&args[0]).is_empty())
+        })
+        .op("SAME?", |args| {
+            MValue::Bool(args[0].as_str() == args[1].as_str())
+        })
+        .eq("Set", move |a, b| {
+            a.downcast::<SortedSet<String>>()
+                .zip(b.downcast::<SortedSet<String>>())
+                .map(|(x, y)| x == y)
+                .unwrap_or(false)
+        });
+    for name in ["E1", "E2", "E3"] {
+        b = b.op(name, move |_| MValue::Str(name.to_owned()));
+    }
+    b.build().expect("the Set model is total")
+}
+
+/// A model of the List specification ([`crate::specs::list_spec`]):
+/// lists as `Vec<String>`, naturals as `i64`.
+pub fn list_model(spec: &Spec) -> TableModel<'_> {
+    let list = |v: &MValue| -> Vec<String> { v.downcast::<Vec<String>>().unwrap().clone() };
+    let mut b = ModelBuilder::new(spec)
+        .op("NIL", |_| MValue::data(Vec::<String>::new()))
+        .op("CONS", move |args| {
+            let mut l = list(&args[1]);
+            l.insert(0, args[0].as_str().unwrap().to_owned());
+            MValue::data(l)
+        })
+        .op("HEAD", move |args| match list(&args[0]).first() {
+            Some(e) => MValue::Str(e.clone()),
+            None => MValue::Error,
+        })
+        .op("TAIL", move |args| {
+            let l = list(&args[0]);
+            if l.is_empty() {
+                MValue::Error
+            } else {
+                MValue::data(l[1..].to_vec())
+            }
+        })
+        .op("IS_NIL?", move |args| {
+            MValue::Bool(list(&args[0]).is_empty())
+        })
+        .op("APPEND", move |args| {
+            let mut l = list(&args[0]);
+            l.extend(list(&args[1]));
+            MValue::data(l)
+        })
+        .op("LENGTH", move |args| {
+            MValue::Int(list(&args[0]).len() as i64)
+        })
+        .op("REVERSE", move |args| {
+            let mut l = list(&args[0]);
+            l.reverse();
+            MValue::data(l)
+        })
+        .op("ZERO", |_| MValue::Int(0))
+        .op("SUCC", |args| MValue::Int(args[0].as_int().unwrap() + 1))
+        .op("PLUS", |args| {
+            MValue::Int(args[0].as_int().unwrap() + args[1].as_int().unwrap())
+        })
+        .eq("List", move |a, b| {
+            a.downcast::<Vec<String>>() == b.downcast::<Vec<String>>()
+        });
+    for name in ["E1", "E2", "E3"] {
+        b = b.op(name, move |_| MValue::Str(name.to_owned()));
+    }
+    b.build().expect("the List model is total")
+}
+
+/// A model of the Symboltable specification
+/// ([`crate::specs::symboltable_spec`]) over the real [`SymbolTable`]
+/// (stack of chained hash arrays). Equality at sort `Symboltable` is the
+/// observational equality of
+/// [`SymbolTable::observationally_eq`] over the sample identifiers.
+pub fn symtab_model(spec: &Spec) -> TableModel<'_> {
+    type St = SymbolTable<HashArray<AttrList>>;
+    let st = |v: &MValue| -> St { v.downcast::<St>().unwrap().clone() };
+    let attr_of = |v: &MValue| AttrList::new().with("name", v.as_str().unwrap());
+    let mut b = ModelBuilder::new(spec)
+        .op("INIT", |_| MValue::data(St::init()))
+        .op("ENTERBLOCK", move |args| {
+            let mut t = st(&args[0]);
+            t.enter_block();
+            MValue::data(t)
+        })
+        .op("LEAVEBLOCK", move |args| {
+            let mut t = st(&args[0]);
+            match t.leave_block() {
+                Ok(()) => MValue::data(t),
+                Err(_) => MValue::Error,
+            }
+        })
+        .op("ADD", move |args| {
+            let mut t = st(&args[0]);
+            t.add(Ident::new(args[1].as_str().unwrap()), attr_of(&args[2]));
+            MValue::data(t)
+        })
+        .op("IS_INBLOCK?", move |args| {
+            MValue::Bool(st(&args[0]).is_in_block(&Ident::new(args[1].as_str().unwrap())))
+        })
+        .op("RETRIEVE", move |args| {
+            match st(&args[0]).retrieve(&Ident::new(args[1].as_str().unwrap())) {
+                Ok(attrs) => MValue::Str(attrs.get("name").expect("encoded attribute").to_owned()),
+                Err(_) => MValue::Error,
+            }
+        })
+        .op("ISSAME?", |args| {
+            MValue::Bool(args[0].as_str() == args[1].as_str())
+        })
+        .eq("Symboltable", move |a, b| {
+            let (x, y) = match (a.downcast::<St>(), b.downcast::<St>()) {
+                (Some(x), Some(y)) => (x, y),
+                _ => return false,
+            };
+            x.observationally_eq(y, &sample_ident_universe())
+        });
+    for name in crate::specs::SAMPLE_IDENTIFIERS
+        .iter()
+        .chain(crate::specs::SAMPLE_ATTRIBUTES.iter())
+    {
+        let owned = (*name).to_owned();
+        b = b.op(name, move |_| MValue::Str(owned.clone()));
+    }
+    b.build().expect("the Symboltable model is total")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs::{array_spec, queue_spec, stack_spec, symboltable_spec};
+    use adt_verify::{check_axioms, AxiomCheckConfig, Model};
+
+    #[test]
+    fn fifo_model_evaluates_operations() {
+        let spec = queue_spec();
+        let model = fifo_model(&spec);
+        let new = spec.sig().find_op("NEW").unwrap();
+        let add = spec.sig().find_op("ADD").unwrap();
+        let front = spec.sig().find_op("FRONT").unwrap();
+        let q0 = model.apply(new, &[]);
+        let q1 = model.apply(add, &[q0, MValue::Str("A".into())]);
+        let q2 = model.apply(add, &[q1, MValue::Str("B".into())]);
+        assert_eq!(model.apply(front, &[q2]).as_str(), Some("A"));
+    }
+
+    #[test]
+    fn fifo_model_satisfies_the_queue_axioms() {
+        let spec = queue_spec();
+        let model = fifo_model(&spec);
+        let report = check_axioms(&model, &AxiomCheckConfig::default());
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn stack_model_satisfies_the_stack_axioms() {
+        let spec = stack_spec();
+        let model = stack_model(&spec);
+        let report = check_axioms(&model, &AxiomCheckConfig::default());
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn array_model_satisfies_the_array_axioms() {
+        let spec = array_spec();
+        let model = array_model(&spec);
+        let report = check_axioms(&model, &AxiomCheckConfig::default());
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn all_three_array_representations_satisfy_the_axioms() {
+        use crate::bst_array::BstArray;
+        use crate::hash_array::LinearArray;
+        let spec = array_spec();
+        for (name, model) in [
+            ("linear", array_model_with::<LinearArray<String>>(&spec)),
+            ("bst", array_model_with::<BstArray<String>>(&spec)),
+        ] {
+            let report = check_axioms(&model, &AxiomCheckConfig::default());
+            assert!(report.passed(), "{name}: {}", report.summary());
+        }
+    }
+
+    #[test]
+    fn set_model_satisfies_the_set_axioms() {
+        let spec = crate::specs::set_spec();
+        let model = set_model(&spec);
+        let report = check_axioms(&model, &AxiomCheckConfig::default());
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn list_model_satisfies_the_list_axioms() {
+        let spec = crate::specs::list_spec();
+        let model = list_model(&spec);
+        let report = check_axioms(&model, &AxiomCheckConfig::default());
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn symtab_model_satisfies_the_symboltable_axioms() {
+        let spec = symboltable_spec();
+        let model = symtab_model(&spec);
+        let report = check_axioms(&model, &AxiomCheckConfig::default());
+        assert!(report.passed(), "{}", report.summary());
+    }
+
+    #[test]
+    fn max_add_chain_measures_live_elements() {
+        let spec = queue_spec();
+        let sig = spec.sig();
+        let new = sig.apply("NEW", vec![]).unwrap();
+        assert_eq!(max_add_chain(&spec, &new), 0);
+        let a = sig.apply("A", vec![]).unwrap();
+        let q1 = sig.apply("ADD", vec![new, a.clone()]).unwrap();
+        let q2 = sig.apply("ADD", vec![q1, a.clone()]).unwrap();
+        assert_eq!(max_add_chain(&spec, &q2), 2);
+        let removed = sig.apply("REMOVE", vec![q2]).unwrap();
+        // REMOVE does not undo the historical peak.
+        assert_eq!(max_add_chain(&spec, &removed), 2);
+    }
+
+    #[test]
+    fn ring_model_errors_beyond_capacity() {
+        let spec = queue_spec();
+        let model = ring_model(&spec, 2);
+        let new = spec.sig().find_op("NEW").unwrap();
+        let add = spec.sig().find_op("ADD").unwrap();
+        let q0 = model.apply(new, &[]);
+        let q1 = model.apply(add, &[q0, MValue::Str("A".into())]);
+        let q2 = model.apply(add, &[q1, MValue::Str("B".into())]);
+        let q3 = model.apply(add, &[q2, MValue::Str("C".into())]);
+        assert!(q3.is_error());
+    }
+}

@@ -1,0 +1,276 @@
+//! The paper's bounded queue: a fixed-capacity ring buffer with a top
+//! pointer (§4), kept deliberately transparent so the *representation*
+//! can be inspected.
+//!
+//! This is the paper's demonstration that the abstraction function Φ "may
+//! not have a proper inverse": the two program segments
+//!
+//! ```text
+//! x := EMPTY_Q                      x := EMPTY_Q
+//! x := ADD_Q(x, A)                  x := ADD_Q(x, B)
+//! x := ADD_Q(x, B)                  x := ADD_Q(x, C)
+//! x := ADD_Q(x, C)                  x := ADD_Q(x, D)
+//! x := REMOVE_Q(x)
+//! x := ADD_Q(x, D)
+//! ```
+//!
+//! leave the ring buffer in *different concrete states* that denote the
+//! *same abstract queue* ⟨B, C, D⟩ — Φ⁻¹ is one-to-many.
+
+use std::fmt;
+
+/// The error returned when adding to a full bounded queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RingFull;
+
+impl fmt::Display for RingFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("bounded queue is full")
+    }
+}
+
+impl std::error::Error for RingFull {}
+
+/// A fixed-capacity FIFO queue over a ring buffer with a top pointer.
+///
+/// ```
+/// use adt_structures::RingQueue;
+///
+/// let mut q = RingQueue::new(3);
+/// q.add('A')?;
+/// q.add('B')?;
+/// assert_eq!(q.remove(), Some('A'));
+/// q.add('C')?;
+/// q.add('D')?;
+/// assert!(q.add('E').is_err()); // full
+/// assert_eq!(q.abstract_value(), vec![&'B', &'C', &'D']);
+/// # Ok::<(), adt_structures::RingFull>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct RingQueue<T> {
+    slots: Vec<Option<T>>,
+    /// Index of the next write (the paper's "top pointer").
+    top: usize,
+    len: usize,
+}
+
+impl<T> RingQueue<T> {
+    /// Creates a bounded queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "bounded queue capacity must be positive");
+        let mut slots = Vec::with_capacity(capacity);
+        slots.resize_with(capacity, || None);
+        RingQueue {
+            slots,
+            top: 0,
+            len: 0,
+        }
+    }
+
+    /// Capacity of the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of live elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the queue is full.
+    pub fn is_full(&self) -> bool {
+        self.len == self.slots.len()
+    }
+
+    /// `ADD_Q`: enqueues at the top pointer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RingFull`] when the queue is at capacity (the bounded
+    /// queue's `error` case).
+    pub fn add(&mut self, value: T) -> Result<(), RingFull> {
+        if self.is_full() {
+            return Err(RingFull);
+        }
+        self.slots[self.top] = Some(value);
+        self.top = (self.top + 1) % self.slots.len();
+        self.len += 1;
+        Ok(())
+    }
+
+    fn head(&self) -> usize {
+        // The oldest element sits `len` positions behind the top pointer.
+        (self.top + self.slots.len() - self.len) % self.slots.len()
+    }
+
+    /// `FRONT_Q`: the oldest element.
+    pub fn front(&self) -> Option<&T> {
+        if self.is_empty() {
+            return None;
+        }
+        self.slots[self.head()].as_ref()
+    }
+
+    /// `REMOVE_Q`: dequeues the oldest element.
+    pub fn remove(&mut self) -> Option<T> {
+        if self.is_empty() {
+            return None;
+        }
+        let h = self.head();
+        let v = self.slots[h].take();
+        self.len -= 1;
+        v
+    }
+
+    /// The raw representation: the slot array as laid out in memory.
+    /// Slots that were vacated by `remove` keep `None`; slots whose value
+    /// was overwritten keep the *new* value — exactly the residue the
+    /// paper's diagrams show.
+    pub fn raw_slots(&self) -> &[Option<T>] {
+        &self.slots
+    }
+
+    /// The raw top pointer.
+    pub fn top_pointer(&self) -> usize {
+        self.top
+    }
+
+    /// The abstract value Φ(self): the live elements oldest-first,
+    /// independent of where they physically sit.
+    pub fn abstract_value(&self) -> Vec<&T> {
+        let mut out = Vec::with_capacity(self.len);
+        for k in 0..self.len {
+            let idx = (self.head() + k) % self.slots.len();
+            out.push(self.slots[idx].as_ref().expect("live slot"));
+        }
+        out
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RingQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "RingQueue {{ slots: {:?}, top: {} }}",
+            self.slots, self.top
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's first program segment.
+    fn segment_one() -> RingQueue<char> {
+        let mut x = RingQueue::new(3);
+        x.add('A').unwrap();
+        x.add('B').unwrap();
+        x.add('C').unwrap();
+        x.remove().unwrap();
+        x.add('D').unwrap();
+        x
+    }
+
+    /// The paper's second program segment.
+    fn segment_two() -> RingQueue<char> {
+        let mut x = RingQueue::new(3);
+        x.add('B').unwrap();
+        x.add('C').unwrap();
+        x.add('D').unwrap();
+        x
+    }
+
+    #[test]
+    fn phi_inverse_is_one_to_many() {
+        let one = segment_one();
+        let two = segment_two();
+        // Different concrete representations…
+        assert_ne!(one.raw_slots(), two.raw_slots());
+        assert_ne!(one.top_pointer(), two.top_pointer());
+        // …same abstract value.
+        assert_eq!(one.abstract_value(), two.abstract_value());
+        assert_eq!(one.abstract_value(), vec![&'B', &'C', &'D']);
+    }
+
+    #[test]
+    fn segment_one_layout_matches_the_paper() {
+        // ADD A,B,C fills slots [A, B, C]; REMOVE vacates A; ADD D wraps
+        // the top pointer and overwrites slot 0.
+        let one = segment_one();
+        assert_eq!(one.raw_slots(), &[Some('D'), Some('B'), Some('C')]);
+        assert_eq!(one.top_pointer(), 1);
+    }
+
+    #[test]
+    fn full_queue_rejects_add() {
+        let mut q = segment_two();
+        assert!(q.is_full());
+        assert_eq!(q.add('E'), Err(RingFull));
+        assert_eq!(RingFull.to_string(), "bounded queue is full");
+        // Still intact.
+        assert_eq!(q.abstract_value(), vec![&'B', &'C', &'D']);
+    }
+
+    #[test]
+    fn fifo_semantics_within_the_bound() {
+        let mut q = RingQueue::new(2);
+        assert!(q.is_empty());
+        assert_eq!(q.remove(), None);
+        assert_eq!(q.front(), None);
+        q.add(1).unwrap();
+        q.add(2).unwrap();
+        assert_eq!(q.front(), Some(&1));
+        assert_eq!(q.remove(), Some(1));
+        q.add(3).unwrap();
+        assert_eq!(q.remove(), Some(2));
+        assert_eq!(q.remove(), Some(3));
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn long_interleaving_stays_fifo() {
+        let mut q = RingQueue::new(5);
+        let mut model: Vec<u32> = Vec::new();
+        let mut state: u64 = 7;
+        for _ in 0..5_000 {
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
+            if state.is_multiple_of(2) {
+                let v = (state >> 13) as u32;
+                match q.add(v) {
+                    Ok(()) => model.push(v),
+                    Err(RingFull) => assert_eq!(model.len(), 5),
+                }
+            } else {
+                let got = q.remove();
+                let expected = if model.is_empty() {
+                    None
+                } else {
+                    Some(model.remove(0))
+                };
+                assert_eq!(got, expected);
+            }
+            let live: Vec<u32> = q.abstract_value().into_iter().copied().collect();
+            assert_eq!(live, model);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = RingQueue::<u8>::new(0);
+    }
+}

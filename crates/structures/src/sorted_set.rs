@@ -1,0 +1,181 @@
+//! A finite set over a sorted, deduplicated vector — the canonical-form
+//! implementation of the Set specification ([`crate::specs::set_spec`]).
+//!
+//! Because the representation is canonical (sorted, no duplicates),
+//! structural equality *is* abstract equality — the opposite situation
+//! from the ring buffer, where Φ⁻¹ is one-to-many. The pair makes the
+//! paper's point from both sides.
+
+use std::fmt;
+
+/// A finite set of ordered elements.
+///
+/// ```
+/// use adt_structures::SortedSet;
+///
+/// let mut s = SortedSet::new();
+/// s.insert(3);
+/// s.insert(1);
+/// s.insert(3); // duplicate, ignored
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(&3));
+/// s.remove(&3);
+/// assert!(!s.contains(&3));
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct SortedSet<T> {
+    items: Vec<T>, // sorted, deduplicated
+}
+
+impl<T: Ord> SortedSet<T> {
+    /// The empty set.
+    pub fn new() -> Self {
+        SortedSet { items: Vec::new() }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts an element; returns whether it was new.
+    pub fn insert(&mut self, value: T) -> bool {
+        match self.items.binary_search(&value) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, value);
+                true
+            }
+        }
+    }
+
+    /// Removes an element; returns whether it was present.
+    pub fn remove(&mut self, value: &T) -> bool {
+        match self.items.binary_search(value) {
+            Ok(pos) => {
+                self.items.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Membership test.
+    pub fn contains(&self, value: &T) -> bool {
+        self.items.binary_search(value).is_ok()
+    }
+
+    /// Iterates in ascending order.
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.items.iter()
+    }
+
+    /// The union of two sets.
+    #[must_use]
+    pub fn union(&self, other: &Self) -> Self
+    where
+        T: Clone,
+    {
+        let mut out = self.clone();
+        for v in other.iter() {
+            out.insert(v.clone());
+        }
+        out
+    }
+
+    /// The intersection of two sets.
+    #[must_use]
+    pub fn intersection(&self, other: &Self) -> Self
+    where
+        T: Clone,
+    {
+        SortedSet {
+            items: self
+                .items
+                .iter()
+                .filter(|v| other.contains(v))
+                .cloned()
+                .collect(),
+        }
+    }
+}
+
+impl<T: Ord> FromIterator<T> for SortedSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut s = SortedSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl<T: Ord> Extend<T> for SortedSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for SortedSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.items.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_representation_makes_equality_structural() {
+        // Same elements, wildly different insertion histories.
+        let a: SortedSet<u32> = [3, 1, 2, 3, 3, 1].into_iter().collect();
+        let b: SortedSet<u32> = [2, 3, 1].into_iter().collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = SortedSet::new();
+        assert!(s.insert(5));
+        assert!(!s.insert(5));
+        assert!(s.contains(&5));
+        assert!(!s.contains(&6));
+        assert!(s.remove(&5));
+        assert!(!s.remove(&5));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let s: SortedSet<i32> = [5, -1, 3, 0].into_iter().collect();
+        let v: Vec<i32> = s.iter().copied().collect();
+        assert_eq!(v, vec![-1, 0, 3, 5]);
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a: SortedSet<u32> = [1, 2, 3].into_iter().collect();
+        let b: SortedSet<u32> = [2, 3, 4].into_iter().collect();
+        let u: Vec<u32> = a.union(&b).iter().copied().collect();
+        assert_eq!(u, vec![1, 2, 3, 4]);
+        let i: Vec<u32> = a.intersection(&b).iter().copied().collect();
+        assert_eq!(i, vec![2, 3]);
+    }
+
+    #[test]
+    fn extend_deduplicates() {
+        let mut s: SortedSet<u32> = [1].into_iter().collect();
+        s.extend([1, 2, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(format!("{s:?}"), "{1, 2, 3}");
+    }
+}

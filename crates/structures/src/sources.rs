@@ -1,0 +1,162 @@
+//! The `.adt` source files shipped in the repository's `specs/`
+//! directory, embedded and loadable.
+//!
+//! Every specification exists both programmatically (the [`crate::specs`]
+//! builders) and as text in the specification language; the
+//! `spec_sources` integration test checks the two are semantically equal,
+//! so the files never drift from the code.
+
+use adt_core::Spec;
+use adt_dsl::Diagnostics;
+
+/// `specs/queue.adt` — the Queue of §3.
+pub const QUEUE: &str = include_str!("../../../specs/queue.adt");
+/// `specs/queue_incomplete.adt` — the Queue with axiom 4 omitted.
+pub const QUEUE_INCOMPLETE: &str = include_str!("../../../specs/queue_incomplete.adt");
+/// `specs/stack.adt` — the Stack of §4.
+pub const STACK: &str = include_str!("../../../specs/stack.adt");
+/// `specs/array.adt` — the Array of §4.
+pub const ARRAY: &str = include_str!("../../../specs/array.adt");
+/// `specs/symboltable.adt` — the Symboltable of §4.
+pub const SYMBOLTABLE: &str = include_str!("../../../specs/symboltable.adt");
+/// `specs/symboltable_rep.adt` — the representation level with Φ.
+pub const SYMBOLTABLE_REP: &str = include_str!("../../../specs/symboltable_rep.adt");
+/// `specs/knowlist.adt` — the Knowlist extension type.
+pub const KNOWLIST: &str = include_str!("../../../specs/knowlist.adt");
+/// `specs/symboltable_kl.adt` — the Symboltable with knows lists.
+pub const SYMBOLTABLE_KL: &str = include_str!("../../../specs/symboltable_kl.adt");
+/// `specs/list.adt` — lists with append/length/reverse (induction playground).
+pub const LIST: &str = include_str!("../../../specs/list.adt");
+/// `specs/set.adt` — finite sets (non-free constructors).
+pub const SET: &str = include_str!("../../../specs/set.adt");
+/// `specs/database.adt` — the §5 database case study.
+pub const DATABASE: &str = include_str!("../../../specs/database.adt");
+/// `specs/arithmetic.adt` — Peano arithmetic with DIVMOD (the §5
+/// multiple-return-values workaround via a Pair type).
+pub const ARITHMETIC: &str = include_str!("../../../specs/arithmetic.adt");
+
+/// All embedded sources, by file stem.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("queue", QUEUE),
+        ("queue_incomplete", QUEUE_INCOMPLETE),
+        ("stack", STACK),
+        ("array", ARRAY),
+        ("symboltable", SYMBOLTABLE),
+        ("symboltable_rep", SYMBOLTABLE_REP),
+        ("knowlist", KNOWLIST),
+        ("symboltable_kl", SYMBOLTABLE_KL),
+        ("list", LIST),
+        ("set", SET),
+        ("database", DATABASE),
+        ("arithmetic", ARITHMETIC),
+    ]
+}
+
+/// Parses an embedded source by file stem.
+///
+/// # Errors
+///
+/// Returns parse/lowering diagnostics (only possible if the shipped file
+/// is edited into an invalid state).
+///
+/// # Panics
+///
+/// Panics if `name` is not one of the embedded file stems.
+pub fn load(name: &str) -> Result<Spec, Diagnostics> {
+    let source = all()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown embedded specification `{name}`"))
+        .1;
+    adt_dsl::parse(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specs;
+    use adt_dsl::semantically_equal;
+
+    #[test]
+    fn every_embedded_source_parses() {
+        for (name, source) in all() {
+            match adt_dsl::parse(source) {
+                Ok(_) => {}
+                Err(e) => panic!("specs/{name}.adt does not parse:\n{}", e.render(source)),
+            }
+        }
+    }
+
+    #[test]
+    fn queue_file_matches_the_programmatic_spec() {
+        let from_file = load("queue").unwrap();
+        assert!(semantically_equal(&from_file, &specs::queue_spec()));
+    }
+
+    #[test]
+    fn queue_incomplete_file_matches() {
+        let from_file = load("queue_incomplete").unwrap();
+        assert!(semantically_equal(
+            &from_file,
+            &specs::queue_spec_incomplete()
+        ));
+    }
+
+    #[test]
+    fn stack_file_matches() {
+        let from_file = load("stack").unwrap();
+        assert!(semantically_equal(&from_file, &specs::stack_spec()));
+    }
+
+    #[test]
+    fn array_file_matches() {
+        let from_file = load("array").unwrap();
+        assert!(semantically_equal(&from_file, &specs::array_spec()));
+    }
+
+    #[test]
+    fn symboltable_file_matches() {
+        let from_file = load("symboltable").unwrap();
+        assert!(semantically_equal(&from_file, &specs::symboltable_spec()));
+    }
+
+    #[test]
+    fn symboltable_rep_file_matches() {
+        let from_file = load("symboltable_rep").unwrap();
+        assert!(semantically_equal(&from_file, &specs::symtab_rep_spec()));
+    }
+
+    #[test]
+    fn knowlist_file_matches() {
+        let from_file = load("knowlist").unwrap();
+        assert!(semantically_equal(&from_file, &specs::knowlist_spec()));
+    }
+
+    #[test]
+    fn symboltable_kl_file_matches() {
+        let from_file = load("symboltable_kl").unwrap();
+        assert!(semantically_equal(
+            &from_file,
+            &specs::symboltable_kl_spec()
+        ));
+    }
+
+    #[test]
+    fn list_file_matches() {
+        let from_file = load("list").unwrap();
+        assert!(semantically_equal(&from_file, &specs::list_spec()));
+    }
+
+    #[test]
+    fn set_file_matches() {
+        let from_file = load("set").unwrap();
+        assert!(semantically_equal(&from_file, &specs::set_spec()));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown embedded specification")]
+    fn unknown_name_panics() {
+        let _ = load("no_such_spec");
+    }
+}

@@ -1,0 +1,211 @@
+//! The classic *two-stack queue*: a third representation of the Queue
+//! specification, built entirely from the paper's own Stack (as
+//! [`LinkedStack`]).
+//!
+//! A queue is a pair of stacks: `back` receives `ADD`s, `front` serves
+//! `FRONT`/`REMOVE`; when `front` runs dry, `back` is reversed onto it.
+//! The abstraction function is
+//!
+//! ```text
+//! Φ(front, back) = front ++ reverse(back)
+//! ```
+//!
+//! which is *radically* non-injective — the same abstract queue has as
+//! many representations as there are ways to split it — making this the
+//! strongest stress test of the Φ machinery in the repository
+//! (`tests/impl_verification.rs` checks it commutes).
+
+use crate::linked_stack::LinkedStack;
+
+/// A FIFO queue over two LIFO stacks, with amortized O(1) operations.
+///
+/// ```
+/// use adt_structures::TwoStackQueue;
+///
+/// let mut q = TwoStackQueue::new();
+/// q.add(1);
+/// q.add(2);
+/// assert_eq!(q.remove(), Some(1)); // triggers the internal reversal
+/// q.add(3);
+/// assert_eq!(q.front(), Some(&2));
+/// assert_eq!(q.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoStackQueue<T: Clone> {
+    front: LinkedStack<T>,
+    back: LinkedStack<T>,
+}
+
+impl<T: Clone> TwoStackQueue<T> {
+    /// The empty queue.
+    pub fn new() -> Self {
+        TwoStackQueue {
+            front: LinkedStack::new(),
+            back: LinkedStack::new(),
+        }
+    }
+
+    /// Number of queued elements.
+    pub fn len(&self) -> usize {
+        self.front.len() + self.back.len()
+    }
+
+    /// The paper's `IS_EMPTY?`.
+    pub fn is_empty(&self) -> bool {
+        self.front.is_empty() && self.back.is_empty()
+    }
+
+    /// The paper's `ADD`: push onto the back stack. O(1).
+    pub fn add(&mut self, value: T) {
+        self.back = self.back.push(value);
+    }
+
+    /// Moves the back stack onto the front stack (reversing it) if the
+    /// front is empty.
+    fn settle(&mut self) {
+        if self.front.is_empty() && !self.back.is_empty() {
+            let mut front = LinkedStack::new();
+            let mut back = self.back.clone();
+            while let Some(top) = back.top().cloned() {
+                front = front.push(top);
+                back = back.pop().expect("non-empty by loop condition");
+            }
+            self.front = front;
+            self.back = LinkedStack::new();
+        }
+    }
+
+    /// The paper's `FRONT`, or `None` when empty.
+    pub fn front(&mut self) -> Option<&T> {
+        self.settle();
+        self.front.top()
+    }
+
+    /// The paper's `REMOVE`, or `None` when empty.
+    pub fn remove(&mut self) -> Option<T> {
+        self.settle();
+        let value = self.front.top().cloned()?;
+        self.front = self.front.pop().expect("top() just succeeded");
+        Some(value)
+    }
+
+    /// The abstract value: all elements oldest-first
+    /// (`front ++ reverse(back)`), independent of the internal split.
+    pub fn abstract_value(&self) -> Vec<T> {
+        let mut out: Vec<T> = self.front.iter().cloned().collect();
+        let mut back: Vec<T> = self.back.iter().cloned().collect();
+        back.reverse();
+        out.extend(back);
+        out
+    }
+
+    /// The internal split, for inspecting the (many-to-one)
+    /// representation: `(front top-down, back top-down)`.
+    pub fn raw_split(&self) -> (Vec<T>, Vec<T>) {
+        (
+            self.front.iter().cloned().collect(),
+            self.back.iter().cloned().collect(),
+        )
+    }
+}
+
+impl<T: Clone> Default for TwoStackQueue<T> {
+    fn default() -> Self {
+        TwoStackQueue::new()
+    }
+}
+
+impl<T: Clone + PartialEq> PartialEq for TwoStackQueue<T> {
+    /// Abstract (Φ-) equality: internal splits are unobservable.
+    fn eq(&self, other: &Self) -> bool {
+        self.abstract_value() == other.abstract_value()
+    }
+}
+
+impl<T: Clone + Eq> Eq for TwoStackQueue<T> {}
+
+impl<T: Clone> FromIterator<T> for TwoStackQueue<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut q = TwoStackQueue::new();
+        for v in iter {
+            q.add(v);
+        }
+        q
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_with_internal_reversals() {
+        let mut q: TwoStackQueue<u32> = (1..=5).collect();
+        for expected in 1..=5 {
+            assert_eq!(q.front(), Some(&expected));
+            assert_eq!(q.remove(), Some(expected));
+        }
+        assert!(q.is_empty());
+        assert_eq!(q.remove(), None);
+    }
+
+    #[test]
+    fn interleaving_across_the_split() {
+        let mut q = TwoStackQueue::new();
+        q.add(1);
+        q.add(2);
+        assert_eq!(q.remove(), Some(1)); // back reversed into front
+        q.add(3); // lands in back while front holds [2]
+        let (front, back) = q.raw_split();
+        assert_eq!(front, vec![2]);
+        assert_eq!(back, vec![3]);
+        assert_eq!(q.abstract_value(), vec![2, 3]);
+        assert_eq!(q.remove(), Some(2));
+        assert_eq!(q.remove(), Some(3));
+    }
+
+    #[test]
+    fn phi_identifies_different_splits() {
+        // Same abstract queue ⟨1, 2⟩, two different representations.
+        let mut a = TwoStackQueue::new();
+        a.add(1);
+        a.add(2); // all in back
+        let mut b = TwoStackQueue::new();
+        b.add(1);
+        b.add(2);
+        let _ = b.front(); // forces the settle: all in front
+        assert_ne!(a.raw_split(), b.raw_split());
+        assert_eq!(a, b); // Φ-equality
+        assert_eq!(a.abstract_value(), vec![1, 2]);
+    }
+
+    #[test]
+    fn agrees_with_the_fifo_on_a_random_workload() {
+        use crate::fifo::Fifo;
+        let mut two: TwoStackQueue<u32> = TwoStackQueue::new();
+        let mut fifo: Fifo<u32> = Fifo::new();
+        let mut state: u64 = 13;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if !state.is_multiple_of(3) {
+                let v = (state >> 20) as u32;
+                two.add(v);
+                fifo.add(v);
+            } else {
+                assert_eq!(two.remove(), fifo.remove());
+            }
+            assert_eq!(two.len(), fifo.len());
+        }
+        let via_two = two.abstract_value();
+        let via_fifo: Vec<u32> = fifo.iter().copied().collect();
+        assert_eq!(via_two, via_fifo);
+    }
+
+    #[test]
+    fn default_and_len() {
+        let q: TwoStackQueue<u8> = TwoStackQueue::default();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert!(q.abstract_value().is_empty());
+    }
+}

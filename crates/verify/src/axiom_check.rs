@@ -1,0 +1,450 @@
+//! Bounded model checking of axioms against an implementation.
+//!
+//! "The basic procedure followed in verifying the inherent invariants is to
+//! take each axiom … and [show] that the left-hand side of each axiom is
+//! equivalent to the right-hand side" (§4). Here the showing is by
+//! exhaustive evaluation over enumerated ground arguments (plus optional
+//! random sampling at greater depths): not a proof for all inputs, but a
+//! mechanical check that catches real implementation bugs immediately and
+//! pairs with the term-level proofs in [`crate::rep`].
+
+use std::collections::HashMap;
+
+use adt_core::{display, Term, VarId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::eval::eval_with_env;
+use crate::gen::{sample_ctor_term, TermPool};
+use crate::model::Model;
+use crate::value::MValue;
+
+/// Configuration for [`check_axioms`].
+#[derive(Debug, Clone)]
+pub struct AxiomCheckConfig {
+    /// Depth bound for the exhaustive enumeration of arguments.
+    pub max_depth: usize,
+    /// Cap on enumerated terms per sort.
+    pub cap_per_sort: usize,
+    /// Cap on instantiations checked per axiom (the variable assignments
+    /// are a cartesian product; this truncates it).
+    pub max_instances_per_axiom: usize,
+    /// Additional random instantiations per axiom at `random_depth`.
+    pub random_instances: usize,
+    /// Depth for random sampling (usually deeper than `max_depth`).
+    pub random_depth: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for AxiomCheckConfig {
+    fn default() -> Self {
+        AxiomCheckConfig {
+            max_depth: 4,
+            cap_per_sort: 60,
+            max_instances_per_axiom: 4_000,
+            random_instances: 100,
+            random_depth: 8,
+            seed: 0x1977,
+        }
+    }
+}
+
+/// A falsifying instantiation of an axiom.
+#[derive(Debug, Clone)]
+pub struct CounterExample {
+    /// Label of the violated axiom.
+    pub axiom: String,
+    /// The variable assignment, as ground terms, rendered `name = term`.
+    pub bindings: Vec<(String, String)>,
+    /// What the left-hand side evaluated to.
+    pub lhs_value: MValue,
+    /// What the right-hand side evaluated to.
+    pub rhs_value: MValue,
+}
+
+/// The result of a bounded axiom check.
+#[derive(Debug, Clone)]
+pub struct AxiomCheckReport {
+    /// Falsifying instances found (empty on success).
+    pub counterexamples: Vec<CounterExample>,
+    /// Total instantiations evaluated.
+    pub instances_checked: usize,
+    /// Labels of axioms skipped because some variable's sort had no
+    /// ground constructor terms (uninstantiated parameter sorts).
+    pub skipped_axioms: Vec<String>,
+}
+
+impl AxiomCheckReport {
+    /// Whether the implementation passed every checked instance.
+    pub fn passed(&self) -> bool {
+        self.counterexamples.is_empty()
+    }
+
+    /// Human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out = format!(
+            "axiom check: {} instance(s), {} counterexample(s), {} skipped axiom(s)\n",
+            self.instances_checked,
+            self.counterexamples.len(),
+            self.skipped_axioms.len()
+        );
+        for ce in &self.counterexamples {
+            out.push_str(&format!(
+                "  axiom {} violated at {{{}}}: lhs = {:?}, rhs = {:?}\n",
+                ce.axiom,
+                ce.bindings
+                    .iter()
+                    .map(|(n, t)| format!("{n} = {t}"))
+                    .collect::<Vec<_>>()
+                    .join(", "),
+                ce.lhs_value,
+                ce.rhs_value
+            ));
+        }
+        out
+    }
+}
+
+/// Checks every axiom of the model's specification against the
+/// implementation, over enumerated and sampled ground arguments.
+pub fn check_axioms(model: &dyn Model, cfg: &AxiomCheckConfig) -> AxiomCheckReport {
+    let spec = model.spec();
+    let pool = TermPool::build(spec.sig(), cfg.max_depth, cfg.cap_per_sort);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    let mut counterexamples = Vec::new();
+    let mut instances_checked = 0;
+    let mut skipped = Vec::new();
+
+    for axiom in spec.axioms() {
+        let vars = axiom.lhs().vars();
+        let var_sorts: Vec<_> = vars.iter().map(|&v| spec.sig().var(v).sort()).collect();
+        if !pool.inhabits_all(var_sorts.iter().copied()) {
+            skipped.push(axiom.label().to_owned());
+            continue;
+        }
+
+        // Exhaustive product over the pools, truncated.
+        let choices: Vec<&[Term]> = var_sorts.iter().map(|&s| pool.terms(s)).collect();
+        let mut indices = vec![0usize; vars.len()];
+        let mut produced = 0;
+        'product: loop {
+            if produced >= cfg.max_instances_per_axiom {
+                break;
+            }
+            let env = build_env(model, &vars, |k| choices[k][indices[k]].clone());
+            check_instance(
+                model,
+                axiom.label(),
+                axiom.lhs(),
+                axiom.rhs(),
+                &vars,
+                &env,
+                &mut counterexamples,
+            );
+            instances_checked += 1;
+            produced += 1;
+            if vars.is_empty() {
+                break;
+            }
+            let mut k = indices.len();
+            loop {
+                if k == 0 {
+                    break 'product;
+                }
+                k -= 1;
+                indices[k] += 1;
+                if indices[k] < choices[k].len() {
+                    break;
+                }
+                indices[k] = 0;
+            }
+        }
+
+        // Random deep instances.
+        if !vars.is_empty() {
+            for _ in 0..cfg.random_instances {
+                let sampled: Option<Vec<Term>> = var_sorts
+                    .iter()
+                    .map(|&s| sample_ctor_term(spec.sig(), s, cfg.random_depth, &mut rng))
+                    .collect();
+                let Some(sampled) = sampled else { break };
+                let env = build_env(model, &vars, |k| sampled[k].clone());
+                check_instance(
+                    model,
+                    axiom.label(),
+                    axiom.lhs(),
+                    axiom.rhs(),
+                    &vars,
+                    &env,
+                    &mut counterexamples,
+                );
+                instances_checked += 1;
+            }
+        }
+    }
+
+    AxiomCheckReport {
+        counterexamples,
+        instances_checked,
+        skipped_axioms: skipped,
+    }
+}
+
+type Env = HashMap<VarId, (Term, MValue)>;
+
+fn build_env(model: &dyn Model, vars: &[VarId], term_of: impl Fn(usize) -> Term) -> Env {
+    vars.iter()
+        .enumerate()
+        .map(|(k, &v)| {
+            let term = term_of(k);
+            let value = crate::eval::eval_ground(model, &term);
+            (v, (term, value))
+        })
+        .collect()
+}
+
+fn check_instance(
+    model: &dyn Model,
+    label: &str,
+    lhs: &Term,
+    rhs: &Term,
+    vars: &[VarId],
+    env: &Env,
+    counterexamples: &mut Vec<CounterExample>,
+) {
+    let spec = model.spec();
+    let value_env: HashMap<VarId, MValue> =
+        env.iter().map(|(&v, (_, val))| (v, val.clone())).collect();
+    let lhs_value = eval_with_env(model, lhs, &value_env);
+    let rhs_value = eval_with_env(model, rhs, &value_env);
+    let sort = lhs
+        .sort(spec.sig())
+        .expect("axioms are validated before checking");
+    if !model.values_equal(sort, &lhs_value, &rhs_value) {
+        counterexamples.push(CounterExample {
+            axiom: label.to_owned(),
+            bindings: vars
+                .iter()
+                .map(|v| {
+                    let (term, _) = &env[v];
+                    (
+                        spec.sig().var(*v).name().to_owned(),
+                        display::term(spec.sig(), term).to_string(),
+                    )
+                })
+                .collect(),
+            lhs_value,
+            rhs_value,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelBuilder;
+    use adt_core::{Spec, SpecBuilder};
+    use std::cell::RefCell;
+    use std::collections::VecDeque;
+
+    /// The Queue of §3, with Item = two constants.
+    fn queue_spec() -> Spec {
+        let mut b = SpecBuilder::new("Queue");
+        let queue = b.sort("Queue");
+        let item = b.param_sort("Item");
+        let new = b.ctor("NEW", [], queue);
+        let add = b.ctor("ADD", [queue, item], queue);
+        let front = b.op("FRONT", [queue], item);
+        let remove = b.op("REMOVE", [queue], queue);
+        let is_empty = b.op("IS_EMPTY?", [queue], b.bool_sort());
+        b.ctor("A", [], item);
+        b.ctor("B", [], item);
+        let q = Term::Var(b.var("q", queue));
+        let i = Term::Var(b.var("i", item));
+        let tt = b.tt();
+        let ff = b.ff();
+        b.axiom("q1", b.app(is_empty, [b.app(new, [])]), tt);
+        b.axiom(
+            "q2",
+            b.app(is_empty, [b.app(add, [q.clone(), i.clone()])]),
+            ff,
+        );
+        b.axiom("q3", b.app(front, [b.app(new, [])]), Term::Error(item));
+        b.axiom(
+            "q4",
+            b.app(front, [b.app(add, [q.clone(), i.clone()])]),
+            Term::ite(
+                b.app(is_empty, [q.clone()]),
+                i.clone(),
+                b.app(front, [q.clone()]),
+            ),
+        );
+        b.axiom("q5", b.app(remove, [b.app(new, [])]), Term::Error(queue));
+        b.axiom(
+            "q6",
+            b.app(remove, [b.app(add, [q.clone(), i.clone()])]),
+            Term::ite(
+                b.app(is_empty, [q.clone()]),
+                b.app(new, []),
+                b.app(add, [b.app(remove, [q]), i]),
+            ),
+        );
+        b.build().unwrap()
+    }
+
+    /// A correct FIFO model over `VecDeque`.
+    fn fifo_model(spec: &Spec) -> crate::TableModel<'_> {
+        let deque = |args: &[MValue]| -> VecDeque<String> {
+            args[0]
+                .downcast::<RefCell<VecDeque<String>>>()
+                .unwrap()
+                .borrow()
+                .clone()
+        };
+        ModelBuilder::new(spec)
+            .op("NEW", |_| {
+                MValue::data(RefCell::new(VecDeque::<String>::new()))
+            })
+            .op("A", |_| "A".into())
+            .op("B", |_| "B".into())
+            .op("ADD", move |args| {
+                let mut d = deque(args);
+                d.push_back(args[1].as_str().unwrap().to_owned());
+                MValue::data(RefCell::new(d))
+            })
+            .op("FRONT", move |args| match deque(args).front() {
+                Some(s) => MValue::Str(s.clone()),
+                None => MValue::Error,
+            })
+            .op("REMOVE", move |args| {
+                let mut d = deque(args);
+                if d.pop_front().is_none() {
+                    return MValue::Error;
+                }
+                MValue::data(RefCell::new(d))
+            })
+            .op("IS_EMPTY?", move |args| {
+                MValue::Bool(deque(args).is_empty())
+            })
+            .eq("Queue", |a, b| {
+                a.downcast::<RefCell<VecDeque<String>>>()
+                    .map(|d| d.borrow().clone())
+                    == b.downcast::<RefCell<VecDeque<String>>>()
+                        .map(|d| d.borrow().clone())
+            })
+            .build()
+            .unwrap()
+    }
+
+    /// A LIFO (stack) model — satisfies the signature but not the axioms.
+    fn lifo_model(spec: &Spec) -> crate::TableModel<'_> {
+        let vec =
+            |args: &[MValue]| -> Vec<String> { args[0].downcast::<Vec<String>>().unwrap().clone() };
+        ModelBuilder::new(spec)
+            .op("NEW", |_| MValue::data(Vec::<String>::new()))
+            .op("A", |_| "A".into())
+            .op("B", |_| "B".into())
+            .op("ADD", move |args| {
+                let mut v = vec(args);
+                v.push(args[1].as_str().unwrap().to_owned());
+                MValue::data(v)
+            })
+            .op("FRONT", move |args| match vec(args).last() {
+                Some(s) => MValue::Str(s.clone()),
+                None => MValue::Error,
+            })
+            .op("REMOVE", move |args| {
+                let mut v = vec(args);
+                if v.pop().is_none() {
+                    return MValue::Error;
+                }
+                MValue::data(v)
+            })
+            .op("IS_EMPTY?", move |args| MValue::Bool(vec(args).is_empty()))
+            .eq("Queue", |a, b| {
+                a.downcast::<Vec<String>>() == b.downcast::<Vec<String>>()
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn correct_fifo_passes_all_axioms() {
+        let spec = queue_spec();
+        let model = fifo_model(&spec);
+        let report = check_axioms(&model, &AxiomCheckConfig::default());
+        assert!(report.passed(), "{}", report.summary());
+        // 3 ground axioms + 3 axioms over (15 queues × 2 items) enumerated
+        // plus 100 random instances each.
+        assert_eq!(report.instances_checked, 3 + 3 * (15 * 2 + 100));
+        assert!(report.skipped_axioms.is_empty());
+    }
+
+    #[test]
+    fn lifo_masquerading_as_queue_is_caught() {
+        // The paper's §2 point: the *signatures* of Stack and Queue are
+        // isomorphic; only the axioms tell them apart. The axiom check
+        // must reject a stack pretending to be a queue.
+        let spec = queue_spec();
+        let model = lifo_model(&spec);
+        let report = check_axioms(&model, &AxiomCheckConfig::default());
+        assert!(!report.passed());
+        // The violated axioms are exactly the FIFO-order ones (q4/q6).
+        let violated: std::collections::HashSet<&str> = report
+            .counterexamples
+            .iter()
+            .map(|c| c.axiom.as_str())
+            .collect();
+        assert!(
+            violated.contains("q4") || violated.contains("q6"),
+            "{violated:?}"
+        );
+        assert!(!violated.contains("q1"));
+        assert!(!violated.contains("q2"));
+    }
+
+    #[test]
+    fn counterexamples_carry_readable_bindings() {
+        let spec = queue_spec();
+        let model = lifo_model(&spec);
+        let report = check_axioms(&model, &AxiomCheckConfig::default());
+        let ce = &report.counterexamples[0];
+        assert!(!ce.bindings.is_empty());
+        // Bindings are printable term strings, e.g. q = ADD(NEW, A).
+        assert!(ce.bindings.iter().any(|(_, t)| t.contains("ADD")), "{ce:?}");
+        let summary = report.summary();
+        assert!(summary.contains("violated at"), "{summary}");
+    }
+
+    #[test]
+    fn uninstantiated_parameter_sorts_skip_axioms() {
+        // Queue without Item constants: q4 etc. cannot be instantiated.
+        let mut b = SpecBuilder::new("Queue");
+        let queue = b.sort("Queue");
+        let item = b.param_sort("Item");
+        let new = b.ctor("NEW", [], queue);
+        let add = b.ctor("ADD", [queue, item], queue);
+        let is_empty = b.op("IS_EMPTY?", [queue], b.bool_sort());
+        let q = Term::Var(b.var("q", queue));
+        let i = Term::Var(b.var("i", item));
+        let tt = b.tt();
+        let ff = b.ff();
+        b.axiom("q1", b.app(is_empty, [b.app(new, [])]), tt);
+        b.axiom("q2", b.app(is_empty, [b.app(add, [q, i])]), ff);
+        let spec = b.build().unwrap();
+        let model = ModelBuilder::new(&spec)
+            .op("NEW", |_| MValue::Int(0))
+            .op("ADD", |args| MValue::Int(args[0].as_int().unwrap() + 1))
+            .op("IS_EMPTY?", |args| {
+                MValue::Bool(args[0].as_int() == Some(0))
+            })
+            .build()
+            .unwrap();
+        let report = check_axioms(&model, &AxiomCheckConfig::default());
+        assert_eq!(report.skipped_axioms, vec!["q2".to_owned()]);
+        assert!(report.passed());
+        assert!(report.instances_checked >= 1); // q1 still ran
+    }
+}

@@ -1,0 +1,174 @@
+//! Dynamic values flowing through implementation models.
+
+use std::any::Any;
+use std::fmt;
+use std::rc::Rc;
+
+/// A value produced by an implementation model.
+///
+/// The primitive variants cover the sorts every specification shares
+/// (booleans, and the small scalar types typically used to instantiate
+/// parameter sorts such as `Identifier` or `AttributeList`); `Data` holds
+/// an implementation-specific structure (a linked stack, a hash array, a
+/// ring buffer, …) behind `Rc<dyn Any>`.
+///
+/// `Error` is the paper's distinguished error value; [`Model::apply`]
+/// propagates it strictly before an implementation closure ever runs.
+///
+/// [`Model::apply`]: crate::Model::apply
+#[derive(Clone)]
+pub enum MValue {
+    /// A boolean (the built-in `Bool` sort).
+    Bool(bool),
+    /// A small integer (commonly used for parameter sorts).
+    Int(i64),
+    /// A string (commonly used for `Identifier`-like parameter sorts).
+    Str(String),
+    /// The distinguished error value.
+    Error,
+    /// An implementation-specific structure.
+    Data(Rc<dyn Any>),
+}
+
+impl MValue {
+    /// Wraps an implementation structure.
+    pub fn data<T: 'static>(value: T) -> Self {
+        MValue::Data(Rc::new(value))
+    }
+
+    /// Downcasts a `Data` value to a concrete type.
+    pub fn downcast<T: 'static>(&self) -> Option<&T> {
+        match self {
+            MValue::Data(rc) => rc.downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+
+    /// The boolean inside, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            MValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The integer inside, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            MValue::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The string inside, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            MValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is the error value.
+    pub fn is_error(&self) -> bool {
+        matches!(self, MValue::Error)
+    }
+
+    /// Structural equality for primitive variants; `None` when either side
+    /// is `Data` (implementation equality is the model's business).
+    pub fn prim_eq(&self, other: &MValue) -> Option<bool> {
+        match (self, other) {
+            (MValue::Bool(a), MValue::Bool(b)) => Some(a == b),
+            (MValue::Int(a), MValue::Int(b)) => Some(a == b),
+            (MValue::Str(a), MValue::Str(b)) => Some(a == b),
+            (MValue::Error, MValue::Error) => Some(true),
+            (MValue::Error, _) | (_, MValue::Error) => Some(false),
+            (MValue::Data(_), _) | (_, MValue::Data(_)) => None,
+            // Mixed primitive kinds cannot denote equal values.
+            _ => Some(false),
+        }
+    }
+}
+
+impl fmt::Debug for MValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MValue::Bool(b) => write!(f, "{b}"),
+            MValue::Int(i) => write!(f, "{i}"),
+            MValue::Str(s) => write!(f, "{s:?}"),
+            MValue::Error => f.write_str("error"),
+            MValue::Data(_) => f.write_str("<data>"),
+        }
+    }
+}
+
+impl From<bool> for MValue {
+    fn from(b: bool) -> Self {
+        MValue::Bool(b)
+    }
+}
+
+impl From<i64> for MValue {
+    fn from(i: i64) -> Self {
+        MValue::Int(i)
+    }
+}
+
+impl From<&str> for MValue {
+    fn from(s: &str) -> Self {
+        MValue::Str(s.to_owned())
+    }
+}
+
+impl From<String> for MValue {
+    fn from(s: String) -> Self {
+        MValue::Str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_equality() {
+        assert_eq!(MValue::Bool(true).prim_eq(&MValue::Bool(true)), Some(true));
+        assert_eq!(MValue::Int(1).prim_eq(&MValue::Int(2)), Some(false));
+        assert_eq!(MValue::Str("a".into()).prim_eq(&"a".into()), Some(true));
+        assert_eq!(MValue::Error.prim_eq(&MValue::Error), Some(true));
+        assert_eq!(MValue::Error.prim_eq(&MValue::Int(0)), Some(false));
+        assert_eq!(MValue::data(3u8).prim_eq(&MValue::Int(0)), None);
+    }
+
+    #[test]
+    fn downcasting() {
+        #[derive(Debug, PartialEq)]
+        struct Stack(Vec<u32>);
+        let v = MValue::data(Stack(vec![1, 2]));
+        assert_eq!(v.downcast::<Stack>(), Some(&Stack(vec![1, 2])));
+        assert!(v.downcast::<u32>().is_none());
+        assert!(MValue::Int(1).downcast::<Stack>().is_none());
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(MValue::Bool(true).as_bool(), Some(true));
+        assert_eq!(MValue::Int(7).as_int(), Some(7));
+        assert_eq!(MValue::from("id").as_str(), Some("id"));
+        assert!(MValue::Error.is_error());
+        assert!(!MValue::Int(0).is_error());
+        assert_eq!(MValue::Int(7).as_bool(), None);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        for v in [
+            MValue::Bool(false),
+            MValue::Int(-3),
+            MValue::from("x"),
+            MValue::Error,
+            MValue::data(()),
+        ] {
+            assert!(!format!("{v:?}").is_empty());
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The paper's bounded-queue demonstration (§4): two different program
+//! segments leave the ring-buffer representation in different concrete
+//! states that denote the same abstract value — Φ⁻¹ is one-to-many.
+//!
+//! Run with `cargo run --example bounded_queue_phi`.
+
+use adt_core::display;
+use adt_rewrite::Rewriter;
+use adt_structures::models::{ring_model, ring_phi};
+use adt_structures::specs::queue_spec;
+use adt_structures::RingQueue;
+use adt_verify::{MValue, Model};
+
+fn show(label: &str, q: &RingQueue<char>) {
+    let slots: Vec<String> = q
+        .raw_slots()
+        .iter()
+        .map(|s| match s {
+            Some(c) => c.to_string(),
+            None => "·".to_owned(),
+        })
+        .collect();
+    println!(
+        "{label}: slots [{}], top pointer at {}, abstract value ⟨{}⟩",
+        slots.join(" "),
+        q.top_pointer(),
+        q.abstract_value()
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}
+
+fn main() {
+    // The paper's first program segment.
+    let mut x = RingQueue::new(3);
+    x.add('A').unwrap();
+    x.add('B').unwrap();
+    x.add('C').unwrap();
+    x.remove().unwrap();
+    x.add('D').unwrap();
+    show("segment 1 (ADD A,B,C; REMOVE; ADD D)", &x);
+
+    // The second.
+    let mut y = RingQueue::new(3);
+    y.add('B').unwrap();
+    y.add('C').unwrap();
+    y.add('D').unwrap();
+    show("segment 2 (ADD B,C,D)          ", &y);
+
+    assert_ne!(x.raw_slots(), y.raw_slots());
+    assert_eq!(x.abstract_value(), y.abstract_value());
+    println!("\ndifferent representations, same abstract value: Φ⁻¹ is one-to-many\n");
+
+    // The same demonstration through the verification machinery, where Φ
+    // produces an actual term of the Queue algebra.
+    let spec = queue_spec();
+    let model = ring_model(&spec, 3);
+    let phi = ring_phi(&spec);
+    let sig = spec.sig();
+    let rw = Rewriter::new(&spec);
+
+    let run = |script: &[(&str, Option<&str>)]| -> MValue {
+        let mut v = model.apply(sig.find_op("NEW").unwrap(), &[]);
+        for (op, item) in script {
+            let op_id = sig.find_op(op).unwrap();
+            v = match item {
+                Some(i) => model.apply(op_id, &[v, MValue::Str((*i).to_owned())]),
+                None => model.apply(op_id, &[v]),
+            };
+        }
+        v
+    };
+    let v1 = run(&[
+        ("ADD", Some("A")),
+        ("ADD", Some("B")),
+        ("ADD", Some("C")),
+        ("REMOVE", None),
+        ("ADD", Some("A")),
+    ]);
+    let v2 = run(&[("ADD", Some("B")), ("ADD", Some("C")), ("ADD", Some("A"))]);
+    let t1 = rw.normalize(&phi(&v1)).unwrap();
+    let t2 = rw.normalize(&phi(&v2)).unwrap();
+    println!("Φ(segment 1) = {}", display::term(sig, &t1));
+    println!("Φ(segment 2) = {}", display::term(sig, &t2));
+    assert_eq!(t1, t2);
+    println!("equal as terms of the algebra ✓");
+}

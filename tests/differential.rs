@@ -1,0 +1,128 @@
+//! Differential testing: four independent executions of the *same*
+//! random queue programs — term rewriting, the growable FIFO, the
+//! two-stack queue, and the symbolic interpreter — must agree
+//! observation-for-observation. Any divergence is a bug in exactly one
+//! layer, which is what makes this harness a powerful tripwire.
+
+use adt_core::{display, Spec, Term};
+use adt_rewrite::{Rewriter, SymbolicSession};
+use adt_structures::models::{fifo_model, two_stack_model};
+use adt_structures::specs::queue_spec;
+use adt_verify::{eval_ground, MValue, Model};
+
+/// One queue observation: FRONT rendered as a string ("error" included).
+#[derive(Debug, PartialEq, Eq, Clone)]
+struct Observation {
+    front: String,
+    is_empty: String,
+}
+
+fn observe_by_rewriting(spec: &Spec, state: &Term) -> Observation {
+    let rw = Rewriter::new(spec);
+    let sig = spec.sig();
+    let front = rw
+        .normalize(&sig.apply("FRONT", vec![state.clone()]).unwrap())
+        .unwrap();
+    let is_empty = rw
+        .normalize(&sig.apply("IS_EMPTY?", vec![state.clone()]).unwrap())
+        .unwrap();
+    Observation {
+        front: display::term(sig, &front).to_string(),
+        is_empty: display::term(sig, &is_empty).to_string(),
+    }
+}
+
+fn observe_by_model(spec: &Spec, model: &dyn Model, state: &Term) -> Observation {
+    let sig = spec.sig();
+    let front = eval_ground(model, &sig.apply("FRONT", vec![state.clone()]).unwrap());
+    let is_empty = eval_ground(model, &sig.apply("IS_EMPTY?", vec![state.clone()]).unwrap());
+    Observation {
+        front: match front {
+            MValue::Str(s) => s,
+            MValue::Error => "error".to_owned(),
+            other => panic!("FRONT produced {other:?}"),
+        },
+        is_empty: match is_empty {
+            MValue::Bool(b) => b.to_string(),
+            MValue::Error => "error".to_owned(),
+            other => panic!("IS_EMPTY? produced {other:?}"),
+        },
+    }
+}
+
+fn observe_by_session(spec: &Spec, state: &Term) -> Observation {
+    let mut session = SymbolicSession::new(spec);
+    session.set("x", state.clone()).unwrap();
+    let front = session.call("FRONT", ["x".into()]).unwrap();
+    let is_empty = session.call("IS_EMPTY?", ["x".into()]).unwrap();
+    Observation {
+        front: display::term(spec.sig(), &front).to_string(),
+        is_empty: display::term(spec.sig(), &is_empty).to_string(),
+    }
+}
+
+/// Builds a random ground queue program term from a seed.
+fn random_program(spec: &Spec, seed: u64, len: usize) -> Term {
+    let sig = spec.sig();
+    let items = ["A", "B", "C"];
+    let mut state = sig.apply("NEW", vec![]).unwrap();
+    let mut s = seed;
+    for _ in 0..len {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        if s.is_multiple_of(4) {
+            state = sig.apply("REMOVE", vec![state]).unwrap();
+        } else {
+            let item = sig.apply(items[(s % 3) as usize], vec![]).unwrap();
+            state = sig.apply("ADD", vec![state, item]).unwrap();
+        }
+    }
+    state
+}
+
+#[test]
+fn four_executions_agree_on_three_hundred_random_programs() {
+    let spec = queue_spec();
+    let fifo = fifo_model(&spec);
+    let two_stack = two_stack_model(&spec);
+    for seed in 0..100u64 {
+        for len in [3usize, 9, 17] {
+            let program = random_program(&spec, seed.wrapping_mul(7919) + len as u64, len);
+            let by_rewriting = observe_by_rewriting(&spec, &program);
+            let by_fifo = observe_by_model(&spec, &fifo, &program);
+            let by_two_stack = observe_by_model(&spec, &two_stack, &program);
+            let by_session = observe_by_session(&spec, &program);
+            let source = display::term(spec.sig(), &program).to_string();
+            assert_eq!(by_rewriting, by_fifo, "rewriting vs fifo on {source}");
+            assert_eq!(
+                by_rewriting, by_two_stack,
+                "rewriting vs two-stack on {source}"
+            );
+            assert_eq!(by_rewriting, by_session, "rewriting vs session on {source}");
+        }
+    }
+}
+
+#[test]
+fn error_states_agree_too() {
+    // Programs that underflow (REMOVE past empty) must be error in every
+    // execution, and stay error afterwards.
+    let spec = queue_spec();
+    let sig = spec.sig();
+    let fifo = fifo_model(&spec);
+    let underflow = sig
+        .apply(
+            "ADD",
+            vec![
+                sig.apply("REMOVE", vec![sig.apply("NEW", vec![]).unwrap()])
+                    .unwrap(),
+                sig.apply("A", vec![]).unwrap(),
+            ],
+        )
+        .unwrap();
+    let by_rewriting = observe_by_rewriting(&spec, &underflow);
+    let by_fifo = observe_by_model(&spec, &fifo, &underflow);
+    assert_eq!(by_rewriting, by_fifo);
+    assert_eq!(by_rewriting.front, "error");
+}

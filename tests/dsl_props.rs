@@ -1,0 +1,186 @@
+//! Property-based tests for the specification language: arbitrary
+//! well-sorted terms and arbitrary signatures survive the print → parse
+//! round trip exactly.
+
+use proptest::prelude::*;
+
+use adt_core::{display, Spec, SpecBuilder, Term};
+use adt_dsl::{parse, parse_term, print_spec, semantically_equal};
+
+/// A rich fixed signature for term round-trips: queue ops, items, a
+/// boolean observer, and declared variables.
+fn term_playground() -> Spec {
+    let mut b = SpecBuilder::new("Playground");
+    let queue = b.sort("Queue");
+    let item = b.param_sort("Item");
+    b.ctor("NEW", [], queue);
+    b.ctor("ADD", [queue, item], queue);
+    b.ctor("A", [], item);
+    b.ctor("B", [], item);
+    b.op("FRONT", [queue], item);
+    b.op("REMOVE", [queue], queue);
+    b.op("IS_EMPTY?", [queue], b.bool_sort());
+    b.var("q", queue);
+    b.var("q1", queue);
+    b.var("i", item);
+    b.var("i1", item);
+    b.var("flag", b.bool_sort());
+    b.build().unwrap()
+}
+
+/// Strategy for well-sorted Queue-sorted terms of bounded depth.
+fn arb_queue_term(spec: &Spec, depth: u32) -> BoxedStrategy<Term> {
+    let sig = spec.sig().clone();
+    let new = sig.find_op("NEW").unwrap();
+    let add = sig.find_op("ADD").unwrap();
+    let remove = sig.find_op("REMOVE").unwrap();
+    let q = sig.find_var("q").unwrap();
+    let q1 = sig.find_var("q1").unwrap();
+    let queue = sig.find_sort("Queue").unwrap();
+
+    let leaf = prop_oneof![
+        Just(Term::constant(new)),
+        Just(Term::Var(q)),
+        Just(Term::Var(q1)),
+        Just(Term::Error(queue)),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let spec2 = spec.clone();
+    let spec3 = spec.clone();
+    let spec4 = spec.clone();
+    prop_oneof![
+        leaf,
+        (
+            arb_queue_term(&spec2, depth - 1),
+            arb_item_term(&spec2, depth - 1)
+        )
+            .prop_map(move |(qt, it)| Term::App(add, vec![qt, it])),
+        arb_queue_term(&spec3, depth - 1).prop_map(move |qt| Term::App(remove, vec![qt])),
+        (
+            arb_bool_term(&spec4, depth - 1),
+            arb_queue_term(&spec4, depth - 1),
+            arb_queue_term(&spec4, depth - 1)
+        )
+            .prop_map(|(c, t, e)| Term::ite(c, t, e)),
+    ]
+    .boxed()
+}
+
+/// Strategy for well-sorted Item-sorted terms.
+fn arb_item_term(spec: &Spec, depth: u32) -> BoxedStrategy<Term> {
+    let sig = spec.sig().clone();
+    let a = sig.find_op("A").unwrap();
+    let b_ = sig.find_op("B").unwrap();
+    let front = sig.find_op("FRONT").unwrap();
+    let i = sig.find_var("i").unwrap();
+    let i1 = sig.find_var("i1").unwrap();
+    let item = sig.find_sort("Item").unwrap();
+    let leaf = prop_oneof![
+        Just(Term::constant(a)),
+        Just(Term::constant(b_)),
+        Just(Term::Var(i)),
+        Just(Term::Var(i1)),
+        Just(Term::Error(item)),
+    ];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let spec2 = spec.clone();
+    prop_oneof![
+        leaf,
+        arb_queue_term(&spec2, depth - 1).prop_map(move |qt| Term::App(front, vec![qt])),
+    ]
+    .boxed()
+}
+
+/// Strategy for well-sorted Bool-sorted terms.
+fn arb_bool_term(spec: &Spec, depth: u32) -> BoxedStrategy<Term> {
+    let sig = spec.sig().clone();
+    let is_empty = sig.find_op("IS_EMPTY?").unwrap();
+    let flag = sig.find_var("flag").unwrap();
+    let leaf = prop_oneof![Just(sig.tt()), Just(sig.ff()), Just(Term::Var(flag)),];
+    if depth == 0 {
+        return leaf.boxed();
+    }
+    let spec2 = spec.clone();
+    prop_oneof![
+        leaf,
+        arb_queue_term(&spec2, depth - 1).prop_map(move |qt| Term::App(is_empty, vec![qt])),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// print(term) reparses to exactly the same term. The one genuinely
+    /// ambiguous shape — a conditional whose branches are *both* `error`
+    /// all the way down, which no context-free reading can sort — is
+    /// excluded by assumption.
+    #[test]
+    fn term_print_parse_round_trip(t in arb_queue_term(&term_playground(), 4)) {
+        let spec = term_playground();
+        let rendered = display::term(spec.sig(), &t).to_string();
+        match parse_term(&spec, &rendered) {
+            Ok(reparsed) => prop_assert_eq!(reparsed, t, "source: {}", rendered),
+            Err(e) if e.to_string().contains("cannot determine the sort") => {
+                // Both-branches-error conditionals are unparseable without
+                // context by design; everything else must round-trip.
+                prop_assume!(false);
+            }
+            Err(e) => return Err(TestCaseError::fail(format!("{rendered}: {e}"))),
+        }
+    }
+
+    /// Arbitrary signatures (sorts, constructors, operations of random
+    /// arities) survive print_spec → parse.
+    #[test]
+    fn signature_print_parse_round_trip(
+        toi_count in 1usize..4,
+        param_count in 0usize..3,
+        op_seed in any::<u64>(),
+    ) {
+        let mut b = SpecBuilder::new("Gen");
+        let mut tois = Vec::new();
+        for k in 0..toi_count {
+            tois.push(b.sort(&format!("S{k}")));
+        }
+        let mut params = Vec::new();
+        for k in 0..param_count {
+            params.push(b.param_sort(&format!("P{k}")));
+        }
+        // Every sort of interest gets a nullary constructor; some get a
+        // recursive one; derived ops get pseudo-random signatures.
+        let mut state = op_seed;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state
+        };
+        for (k, &s) in tois.iter().enumerate() {
+            b.ctor(&format!("BASE{k}"), [], s);
+            if next() % 2 == 0 {
+                b.ctor(&format!("STEP{k}"), [s], s);
+            }
+        }
+        let all_sorts: Vec<_> = tois.iter().chain(params.iter()).copied().collect();
+        for k in 0..(next() % 5) {
+            let arity = (next() % 3) as usize;
+            let args: Vec<_> = (0..arity)
+                .map(|_| all_sorts[(next() as usize) % all_sorts.len()])
+                .collect();
+            let result = if next() % 4 == 0 {
+                b.bool_sort()
+            } else {
+                all_sorts[(next() as usize) % all_sorts.len()]
+            };
+            b.op(&format!("OP{k}?"), args, result);
+        }
+        let spec = b.build().expect("generated signatures are valid");
+        let printed = print_spec(&spec);
+        let reparsed = parse(&printed)
+            .map_err(|e| TestCaseError::fail(format!("{printed}\n{}", e.render(&printed))))?;
+        prop_assert!(semantically_equal(&spec, &reparsed), "printed:\n{printed}");
+    }
+}

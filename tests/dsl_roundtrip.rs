@@ -1,0 +1,58 @@
+//! The specification language round-trips: every shipped `.adt` file
+//! parses, prints, reparses to a semantically equal specification, and
+//! the printed form is stable (printing is idempotent).
+
+use adt_dsl::{parse, print_spec, semantically_equal};
+use adt_structures::sources;
+
+#[test]
+fn all_shipped_sources_round_trip() {
+    for (name, source) in sources::all() {
+        let spec =
+            parse(source).unwrap_or_else(|e| panic!("specs/{name}.adt: {}", e.render(source)));
+        let printed = print_spec(&spec);
+        let reparsed = parse(&printed).unwrap_or_else(|e| {
+            panic!(
+                "specs/{name}.adt failed to reparse after printing:\n{printed}\n{}",
+                e.render(&printed)
+            )
+        });
+        assert!(
+            semantically_equal(&spec, &reparsed),
+            "specs/{name}.adt drifted through print/parse:\n{printed}"
+        );
+    }
+}
+
+#[test]
+fn printing_is_idempotent() {
+    for (name, source) in sources::all() {
+        let spec = parse(source).unwrap();
+        let once = print_spec(&spec);
+        let twice = print_spec(&parse(&once).unwrap());
+        assert_eq!(once, twice, "specs/{name}.adt printing is not stable");
+    }
+}
+
+#[test]
+fn programmatic_specs_print_to_parseable_sources() {
+    use adt_structures::specs::*;
+    for (name, spec) in [
+        ("queue", queue_spec()),
+        ("stack", stack_spec()),
+        ("array", array_spec()),
+        ("symboltable", symboltable_spec()),
+        ("symboltable_rep", symtab_rep_spec()),
+        ("knowlist", knowlist_spec()),
+        ("symboltable_kl", symboltable_kl_spec()),
+    ] {
+        let printed = print_spec(&spec);
+        let reparsed = parse(&printed).unwrap_or_else(|e| {
+            panic!(
+                "{name}: printed spec does not parse:\n{printed}\n{}",
+                e.render(&printed)
+            )
+        });
+        assert!(semantically_equal(&spec, &reparsed), "{name}:\n{printed}");
+    }
+}

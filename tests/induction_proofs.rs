@@ -1,0 +1,126 @@
+//! EX-11: generator induction (§4 cites Wegbreit [23]; §5 promises that
+//! algebraic specifications provide "a set of powerful rules of
+//! inference"). Classic list/arithmetic theorems that plain rewriting
+//! cannot close are proved by skolemized structural induction — including
+//! a genuine two-lemma development of `REVERSE(REVERSE(l)) = l`.
+
+use adt_core::Term;
+use adt_rewrite::Rewriter;
+use adt_structures::specs::list_spec;
+use adt_verify::{prove_by_induction, with_lemma, InductionOutcome};
+
+fn apply(spec: &adt_core::Spec, op: &str, args: Vec<Term>) -> Term {
+    spec.sig().apply(op, args).unwrap()
+}
+
+#[test]
+fn append_nil_neutral_needs_and_gets_induction() {
+    let spec = list_spec();
+    let l = spec.sig().find_var("l").unwrap();
+    let nil = apply(&spec, "NIL", vec![]);
+    let lhs = apply(&spec, "APPEND", vec![Term::Var(l), nil]);
+    let rhs = Term::Var(l);
+
+    // Rewriting alone is stuck: APPEND recurses on its *first* argument.
+    let rw = Rewriter::new(&spec);
+    assert!(!rw.prove_equal(&lhs, &rhs, 4).unwrap().is_proved());
+
+    // Induction on l closes it.
+    let outcome = prove_by_induction(&spec, &lhs, &rhs, l, 4).unwrap();
+    assert!(outcome.is_proved(), "{outcome:?}");
+}
+
+#[test]
+fn length_is_a_homomorphism_onto_plus() {
+    // LENGTH(APPEND(l1, l2)) = PLUS(LENGTH(l1), LENGTH(l2)),
+    // by induction on l1 (l2 stays universally quantified, so the
+    // induction hypothesis is the strengthened ∀l2 statement).
+    let spec = list_spec();
+    let l1 = spec.sig().find_var("l1").unwrap();
+    let l2 = spec.sig().find_var("l2").unwrap();
+    let lhs = apply(
+        &spec,
+        "LENGTH",
+        vec![apply(&spec, "APPEND", vec![Term::Var(l1), Term::Var(l2)])],
+    );
+    let rhs = apply(
+        &spec,
+        "PLUS",
+        vec![
+            apply(&spec, "LENGTH", vec![Term::Var(l1)]),
+            apply(&spec, "LENGTH", vec![Term::Var(l2)]),
+        ],
+    );
+    let outcome = prove_by_induction(&spec, &lhs, &rhs, l1, 4).unwrap();
+    assert!(outcome.is_proved(), "{outcome:?}");
+}
+
+#[test]
+fn reverse_involution_fails_without_the_lemma() {
+    let spec = list_spec();
+    let l = spec.sig().find_var("l").unwrap();
+    let lhs = apply(
+        &spec,
+        "REVERSE",
+        vec![apply(&spec, "REVERSE", vec![Term::Var(l)])],
+    );
+    let rhs = Term::Var(l);
+    // Direct induction gets stuck in the CONS case on
+    // REVERSE(APPEND(REVERSE(sk), CONS(e, NIL))) — an honest limit of
+    // rewriting induction without lemma speculation.
+    let outcome = prove_by_induction(&spec, &lhs, &rhs, l, 6).unwrap();
+    match outcome {
+        InductionOutcome::Failed { case, .. } => assert_eq!(case, "CONS"),
+        other => panic!("expected the CONS case to be stuck: {other:?}"),
+    }
+}
+
+#[test]
+fn reverse_involution_by_a_two_lemma_development() {
+    let spec = list_spec();
+    let l = spec.sig().find_var("l").unwrap();
+    let e = spec.sig().find_var("e").unwrap();
+    let nil = apply(&spec, "NIL", vec![]);
+
+    // Lemma: REVERSE(APPEND(l, CONS(e, NIL))) = CONS(e, REVERSE(l)),
+    // proved by induction on l.
+    let lemma_lhs = apply(
+        &spec,
+        "REVERSE",
+        vec![apply(
+            &spec,
+            "APPEND",
+            vec![
+                Term::Var(l),
+                apply(&spec, "CONS", vec![Term::Var(e), nil.clone()]),
+            ],
+        )],
+    );
+    let lemma_rhs = apply(
+        &spec,
+        "CONS",
+        vec![Term::Var(e), apply(&spec, "REVERSE", vec![Term::Var(l)])],
+    );
+    let lemma_proof = prove_by_induction(&spec, &lemma_lhs, &lemma_rhs, l, 6).unwrap();
+    assert!(lemma_proof.is_proved(), "lemma: {lemma_proof:?}");
+
+    // Install the proved lemma as a rewrite rule and prove the theorem.
+    let enriched = with_lemma(&spec, "rev_snoc", lemma_lhs, lemma_rhs).unwrap();
+    let theorem_lhs = apply(
+        &enriched,
+        "REVERSE",
+        vec![apply(&enriched, "REVERSE", vec![Term::Var(l)])],
+    );
+    let theorem = prove_by_induction(&enriched, &theorem_lhs, &Term::Var(l), l, 6).unwrap();
+    assert!(theorem.is_proved(), "theorem: {theorem:?}");
+}
+
+#[test]
+fn induction_rejects_a_false_conjecture() {
+    // REVERSE(l) = l is false for any 2-element list with distinct heads.
+    let spec = list_spec();
+    let l = spec.sig().find_var("l").unwrap();
+    let lhs = apply(&spec, "REVERSE", vec![Term::Var(l)]);
+    let outcome = prove_by_induction(&spec, &lhs, &Term::Var(l), l, 6).unwrap();
+    assert!(!outcome.is_proved());
+}

@@ -1,0 +1,85 @@
+//! Robustness fuzzing: the specification-language front end must never
+//! panic, whatever bytes it is fed — it either parses or returns
+//! diagnostics. (Guarantees the `adt` CLI cannot be crashed by a bad
+//! file.)
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary unicode strings never panic the full pipeline.
+    #[test]
+    fn parse_never_panics_on_arbitrary_input(s in "\\PC*") {
+        let _ = adt_dsl::parse(&s);
+    }
+
+    /// Arbitrary "almost-spec" soup (keywords, brackets, names shuffled
+    /// together) never panics and, when it parses, yields a valid spec.
+    #[test]
+    fn parse_never_panics_on_spec_shaped_soup(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("type".to_owned()),
+                Just("ops".to_owned()),
+                Just("vars".to_owned()),
+                Just("axioms".to_owned()),
+                Just("end".to_owned()),
+                Just("param".to_owned()),
+                Just("ctor".to_owned()),
+                Just("if".to_owned()),
+                Just("then".to_owned()),
+                Just("else".to_owned()),
+                Just("error".to_owned()),
+                Just("->".to_owned()),
+                Just(":".to_owned()),
+                Just(",".to_owned()),
+                Just("(".to_owned()),
+                Just(")".to_owned()),
+                Just("[".to_owned()),
+                Just("]".to_owned()),
+                Just("=".to_owned()),
+                "[A-Z][A-Z0-9_]{0,5}\\??",
+                "[a-z][a-z0-9_]{0,4}",
+            ],
+            0..60,
+        )
+    ) {
+        let source = tokens.join(" ");
+        if let Ok(spec) = adt_dsl::parse(&source) {
+            // Anything that parses must be internally valid.
+            spec.validate().expect("parsed specs are valid");
+        }
+    }
+
+    /// Arbitrary term soup never panics the term parser.
+    #[test]
+    fn parse_term_never_panics(s in "\\PC*") {
+        let spec = adt_structures::specs::queue_spec();
+        let _ = adt_dsl::parse_term(&spec, &s);
+    }
+}
+
+#[test]
+fn pathologically_deep_nesting_is_rejected_not_crashed() {
+    // 100k nested conditionals would blow the thread stack in a naive
+    // recursive-descent parser; the depth guard reports an error instead.
+    let spec = adt_structures::specs::queue_spec();
+    let mut deep = String::new();
+    for _ in 0..100_000 {
+        deep.push_str("if true then ");
+    }
+    deep.push_str("NEW");
+    for _ in 0..100_000 {
+        deep.push_str(" else NEW");
+    }
+    let err = adt_dsl::parse_term(&spec, &deep).unwrap_err();
+    assert!(err.to_string().contains("nesting exceeds"), "{err}");
+
+    // And deep *application* nesting likewise.
+    let mut deep_app = "REMOVE(".repeat(100_000);
+    deep_app.push_str("NEW");
+    deep_app.push_str(&")".repeat(100_000));
+    let err = adt_dsl::parse_term(&spec, &deep_app).unwrap_err();
+    assert!(err.to_string().contains("nesting exceeds"), "{err}");
+}

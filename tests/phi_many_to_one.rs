@@ -1,0 +1,234 @@
+//! EX-8: the bounded-queue ring buffer and the non-injective abstraction
+//! function (§4).
+//!
+//! "It is clear that these two representations though not identical,
+//! refer to the same abstract value. That is to say, the mapping from
+//! values to representations, Φ⁻¹, may be one-to-many."
+
+use adt_rewrite::Rewriter;
+use adt_structures::models::{ring_model, ring_phi};
+use adt_structures::specs::queue_spec;
+use adt_structures::RingQueue;
+use adt_verify::{eval_ground, MValue, Model};
+
+/// The paper's two program segments, as ring-buffer values.
+fn paper_segments() -> (RingQueue<String>, RingQueue<String>) {
+    let mut one = RingQueue::new(3);
+    one.add("A".to_owned()).unwrap();
+    one.add("B".to_owned()).unwrap();
+    one.add("C".to_owned()).unwrap();
+    one.remove().unwrap();
+    one.add("D".to_owned()).unwrap();
+
+    let mut two = RingQueue::new(3);
+    two.add("B".to_owned()).unwrap();
+    two.add("C".to_owned()).unwrap();
+    two.add("D".to_owned()).unwrap();
+
+    (one, two)
+}
+
+#[test]
+fn different_representations_same_abstract_value() {
+    let (one, two) = paper_segments();
+    assert_ne!(one.raw_slots(), two.raw_slots());
+    assert_ne!(one.top_pointer(), two.top_pointer());
+    assert_eq!(one.abstract_value(), two.abstract_value());
+}
+
+#[test]
+fn phi_maps_both_programs_to_one_normal_form() {
+    // Run the same two programs through the verification model and check
+    // Φ sends both values to the same abstract term.
+    let spec = queue_spec();
+    let model = ring_model(&spec, 3);
+    let phi = ring_phi(&spec);
+    let sig = spec.sig();
+
+    let run = |script: &[(&str, Option<&str>)]| -> MValue {
+        let mut x = model.apply(sig.find_op("NEW").unwrap(), &[]);
+        for (op, item) in script {
+            let op_id = sig.find_op(op).unwrap();
+            x = match item {
+                Some(i) => model.apply(op_id, &[x, MValue::Str((*i).to_owned())]),
+                None => model.apply(op_id, &[x]),
+            };
+        }
+        x
+    };
+    // The paper uses A–D; our spec's Item has three constants, so the
+    // same shape is driven with A, B, C (add three, remove one, add one).
+    let v1 = run(&[
+        ("ADD", Some("A")),
+        ("ADD", Some("B")),
+        ("ADD", Some("C")),
+        ("REMOVE", None),
+        ("ADD", Some("A")),
+    ]);
+    let v2 = run(&[("ADD", Some("B")), ("ADD", Some("C")), ("ADD", Some("A"))]);
+
+    let t1 = phi(&v1);
+    let t2 = phi(&v2);
+    assert_eq!(t1, t2, "Φ must identify the two representations");
+
+    // And that common image is exactly the ADD chain ⟨B, C, A⟩.
+    let rw = Rewriter::new(&spec);
+    let expected = sig
+        .apply(
+            "ADD",
+            vec![
+                sig.apply(
+                    "ADD",
+                    vec![
+                        sig.apply(
+                            "ADD",
+                            vec![
+                                sig.apply("NEW", vec![]).unwrap(),
+                                sig.apply("B", vec![]).unwrap(),
+                            ],
+                        )
+                        .unwrap(),
+                        sig.apply("C", vec![]).unwrap(),
+                    ],
+                )
+                .unwrap(),
+                sig.apply("A", vec![]).unwrap(),
+            ],
+        )
+        .unwrap();
+    assert_eq!(rw.normalize(&t1).unwrap(), expected);
+}
+
+#[test]
+fn observers_cannot_distinguish_phi_equal_values() {
+    // The abstract type's operations see only the Φ-image: FRONT,
+    // IS_EMPTY? and REMOVE agree on the two representations.
+    let spec = queue_spec();
+    let model = ring_model(&spec, 3);
+    let (one, two) = paper_segments();
+    let v1 = MValue::data(one);
+    let v2 = MValue::data(two);
+
+    let front = spec.sig().find_op("FRONT").unwrap();
+    let is_empty = spec.sig().find_op("IS_EMPTY?").unwrap();
+    let remove = spec.sig().find_op("REMOVE").unwrap();
+    let queue_sort = spec.sig().find_sort("Queue").unwrap();
+
+    assert_eq!(
+        model.apply(front, std::slice::from_ref(&v1)).as_str(),
+        model.apply(front, std::slice::from_ref(&v2)).as_str()
+    );
+    assert_eq!(
+        model.apply(is_empty, std::slice::from_ref(&v1)).as_bool(),
+        model.apply(is_empty, std::slice::from_ref(&v2)).as_bool()
+    );
+    let r1 = model.apply(remove, &[v1]);
+    let r2 = model.apply(remove, &[v2]);
+    assert!(model.values_equal(queue_sort, &r1, &r2));
+}
+
+#[test]
+fn the_spec_itself_identifies_the_two_programs() {
+    // At the purely algebraic level the two programs are *literally* the
+    // same normal form — the representation difference only exists below
+    // the abstraction boundary.
+    let spec = queue_spec();
+    let sig = spec.sig();
+    let rw = Rewriter::new(&spec);
+    let seg1 = sig
+        .apply(
+            "ADD",
+            vec![
+                sig.apply(
+                    "REMOVE",
+                    vec![sig
+                        .apply(
+                            "ADD",
+                            vec![
+                                sig.apply(
+                                    "ADD",
+                                    vec![
+                                        sig.apply(
+                                            "ADD",
+                                            vec![
+                                                sig.apply("NEW", vec![]).unwrap(),
+                                                sig.apply("A", vec![]).unwrap(),
+                                            ],
+                                        )
+                                        .unwrap(),
+                                        sig.apply("B", vec![]).unwrap(),
+                                    ],
+                                )
+                                .unwrap(),
+                                sig.apply("C", vec![]).unwrap(),
+                            ],
+                        )
+                        .unwrap()],
+                )
+                .unwrap(),
+                sig.apply("A", vec![]).unwrap(),
+            ],
+        )
+        .unwrap();
+    let seg2 = sig
+        .apply(
+            "ADD",
+            vec![
+                sig.apply(
+                    "ADD",
+                    vec![
+                        sig.apply(
+                            "ADD",
+                            vec![
+                                sig.apply("NEW", vec![]).unwrap(),
+                                sig.apply("B", vec![]).unwrap(),
+                            ],
+                        )
+                        .unwrap(),
+                        sig.apply("C", vec![]).unwrap(),
+                    ],
+                )
+                .unwrap(),
+                sig.apply("A", vec![]).unwrap(),
+            ],
+        )
+        .unwrap();
+    assert_ne!(seg1, seg2); // different programs…
+    assert_eq!(rw.normalize(&seg1).unwrap(), rw.normalize(&seg2).unwrap());
+}
+
+#[test]
+fn eval_ground_agrees_with_direct_driving() {
+    // Drive the ring model through the generic term evaluator and check
+    // it matches hand-driving the RingQueue.
+    let spec = queue_spec();
+    let model = ring_model(&spec, 3);
+    let sig = spec.sig();
+    let term = sig
+        .apply(
+            "FRONT",
+            vec![sig
+                .apply(
+                    "REMOVE",
+                    vec![sig
+                        .apply(
+                            "ADD",
+                            vec![
+                                sig.apply(
+                                    "ADD",
+                                    vec![
+                                        sig.apply("NEW", vec![]).unwrap(),
+                                        sig.apply("A", vec![]).unwrap(),
+                                    ],
+                                )
+                                .unwrap(),
+                                sig.apply("B", vec![]).unwrap(),
+                            ],
+                        )
+                        .unwrap()],
+                )
+                .unwrap()],
+        )
+        .unwrap();
+    assert_eq!(eval_ground(&model, &term).as_str(), Some("B"));
+}

@@ -1,0 +1,220 @@
+//! Property-based tests (proptest) on the core invariants: the rewrite
+//! system is deterministic and idempotent; substitution composes; the
+//! concrete implementations track reference models under arbitrary
+//! operation sequences; Φ identifies exactly the observationally equal
+//! ring states.
+
+use proptest::prelude::*;
+
+use adt_core::{Subst, Term};
+use adt_rewrite::Rewriter;
+use adt_structures::specs::queue_spec;
+use adt_structures::{AttrList, Fifo, Ident, LinkedStack, RingQueue, SymbolTable};
+
+/// An abstract queue-building operation for random programs.
+#[derive(Debug, Clone)]
+enum QOp {
+    Add(u8),
+    Remove,
+}
+
+fn qops() -> impl Strategy<Value = Vec<QOp>> {
+    prop::collection::vec(
+        prop_oneof![(0u8..3).prop_map(QOp::Add), Just(QOp::Remove),],
+        0..40,
+    )
+}
+
+/// Builds the ground Queue term corresponding to a program, mirroring it
+/// against a Vec reference model.
+fn queue_term(spec: &adt_core::Spec, ops: &[QOp]) -> (Term, Vec<u8>) {
+    let sig = spec.sig();
+    let items = ["A", "B", "C"];
+    let mut term = sig.apply("NEW", vec![]).unwrap();
+    let mut model: Vec<u8> = Vec::new();
+    let mut poisoned = false;
+    for op in ops {
+        match op {
+            QOp::Add(i) => {
+                let item = sig.apply(items[*i as usize], vec![]).unwrap();
+                term = sig.apply("ADD", vec![term, item]).unwrap();
+                if !poisoned {
+                    model.push(*i);
+                }
+            }
+            QOp::Remove => {
+                term = sig.apply("REMOVE", vec![term]).unwrap();
+                if !poisoned && model.is_empty() {
+                    poisoned = true; // REMOVE(NEW) = error, and error is absorbing
+                }
+                if !poisoned {
+                    model.remove(0);
+                }
+            }
+        }
+    }
+    if poisoned {
+        model.clear();
+    }
+    (term, model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Normal forms are fixpoints: nf(nf(t)) = nf(t).
+    #[test]
+    fn normalization_is_idempotent(ops in qops()) {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec);
+        let (term, _) = queue_term(&spec, &ops);
+        let nf = rw.normalize(&term).unwrap();
+        prop_assert_eq!(rw.normalize(&nf).unwrap(), nf);
+    }
+
+    /// The rewrite system agrees with a Vec reference model of FIFO
+    /// semantics (with error as an absorbing state).
+    #[test]
+    fn queue_axioms_agree_with_a_reference_model(ops in qops()) {
+        let spec = queue_spec();
+        let sig = spec.sig();
+        let rw = Rewriter::new(&spec);
+        let (term, model) = queue_term(&spec, &ops);
+        let nf = rw.normalize(&term).unwrap();
+        if nf.is_error() {
+            // The model detected an underflow somewhere — nothing more to
+            // compare (error has swallowed the queue).
+            return Ok(());
+        }
+        // Rebuild the model's expected ADD chain and compare.
+        let items = ["A", "B", "C"];
+        let mut expected = sig.apply("NEW", vec![]).unwrap();
+        for i in &model {
+            let item = sig.apply(items[*i as usize], vec![]).unwrap();
+            expected = sig.apply("ADD", vec![expected, item]).unwrap();
+        }
+        prop_assert_eq!(nf, expected);
+    }
+
+    /// The Fifo implementation agrees with the same reference model.
+    #[test]
+    fn fifo_agrees_with_the_reference_model(ops in qops()) {
+        let mut q: Fifo<u8> = Fifo::new();
+        let mut model: Vec<u8> = Vec::new();
+        for op in &ops {
+            match op {
+                QOp::Add(i) => {
+                    q.add(*i);
+                    model.push(*i);
+                }
+                QOp::Remove => {
+                    prop_assert_eq!(q.remove(), if model.is_empty() { None } else { Some(model.remove(0)) });
+                }
+            }
+            prop_assert_eq!(q.len(), model.len());
+            prop_assert_eq!(q.front().copied(), model.first().copied());
+        }
+        let contents: Vec<u8> = q.iter().copied().collect();
+        prop_assert_eq!(contents, model);
+    }
+
+    /// Substitution composition law: (σ ∘ τ)(t) = τ(σ(t)).
+    #[test]
+    fn substitution_composes(ops in qops(), pick in 0usize..3) {
+        let spec = queue_spec();
+        let sig = spec.sig();
+        // queue_spec has vars q and i; σ maps q to an open term, τ grounds it.
+        let q = sig.find_var("q").unwrap();
+        let (ground, _) = queue_term(&spec, &ops);
+        let open = sig.apply("REMOVE", vec![Term::Var(q)]).unwrap();
+        let sigma = Subst::single(q, open.clone());
+        let tau = Subst::single(q, ground);
+        let composed = sigma.compose(&tau);
+        let t = match pick {
+            0 => Term::Var(q),
+            1 => open,
+            _ => sig.apply("IS_EMPTY?", vec![Term::Var(q)]).unwrap(),
+        };
+        prop_assert_eq!(composed.apply(&t), tau.apply(&sigma.apply(&t)));
+    }
+
+    /// The ring buffer's Φ-image matches a bounded reference model, and
+    /// two different ways of reaching the same abstract state are
+    /// Φ-equal.
+    #[test]
+    fn ring_phi_matches_bounded_model(ops in qops()) {
+        let mut ring: RingQueue<u8> = RingQueue::new(3);
+        let mut model: Vec<u8> = Vec::new();
+        for op in &ops {
+            match op {
+                QOp::Add(i) => {
+                    let ok = ring.add(*i).is_ok();
+                    prop_assert_eq!(ok, model.len() < 3);
+                    if ok {
+                        model.push(*i);
+                    }
+                }
+                QOp::Remove => {
+                    let got = ring.remove();
+                    let expected = if model.is_empty() { None } else { Some(model.remove(0)) };
+                    prop_assert_eq!(got, expected);
+                }
+            }
+            let live: Vec<u8> = ring.abstract_value().into_iter().copied().collect();
+            prop_assert_eq!(&live, &model);
+        }
+    }
+
+    /// LinkedStack push/pop round-trips arbitrary sequences.
+    #[test]
+    fn linked_stack_round_trips(values in prop::collection::vec(any::<u16>(), 0..64)) {
+        let stack: LinkedStack<u16> = values.iter().copied().collect();
+        prop_assert_eq!(stack.len(), values.len());
+        let mut walker = stack.clone();
+        for v in values.iter().rev() {
+            prop_assert_eq!(walker.top(), Some(v));
+            walker = walker.pop().unwrap();
+        }
+        prop_assert!(walker.is_new());
+    }
+
+    /// The symbol table agrees with a reference stack-of-maps under
+    /// arbitrary enter/leave/add/lookup programs.
+    #[test]
+    fn symbol_table_agrees_with_stack_of_maps(
+        script in prop::collection::vec((0u8..4, 0u8..5), 0..60)
+    ) {
+        use std::collections::HashMap;
+        let mut st: SymbolTable = SymbolTable::init();
+        let mut reference: Vec<HashMap<String, String>> = vec![HashMap::new()];
+        for (op, which) in script {
+            let name = format!("v{which}");
+            match op {
+                0 => {
+                    let val = format!("t{}", reference.len());
+                    st.add(Ident::new(&name), AttrList::new().with("t", &val));
+                    reference.last_mut().unwrap().insert(name, val);
+                }
+                1 => {
+                    st.enter_block();
+                    reference.push(HashMap::new());
+                }
+                2 => {
+                    let st_res = st.leave_block().is_ok();
+                    let ref_res = reference.len() > 1;
+                    prop_assert_eq!(st_res, ref_res);
+                    if ref_res {
+                        reference.pop();
+                    }
+                }
+                _ => {
+                    let expected = reference.iter().rev().find_map(|m| m.get(&name));
+                    let got = st.retrieve(&Ident::new(&name)).ok().map(|a| a.get("t").unwrap().to_owned());
+                    prop_assert_eq!(got, expected.cloned());
+                    let in_block = reference.last().unwrap().contains_key(&name);
+                    prop_assert_eq!(st.is_in_block(&Ident::new(&name)), in_block);
+                }
+            }
+        }
+    }
+}
