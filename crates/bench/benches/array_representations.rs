@@ -13,9 +13,9 @@
 //! `n` grows past the bucket count — the crossover the paper warns can
 //! only be exploited if the representation was not frozen early.
 
+use adt_bench::harness::Group;
 use adt_bench::workloads::{ident_names, Stream};
 use adt_structures::{BstArray, HashArray, Ident, LinearArray, ScopeArray};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn workload<A: ScopeArray<u32>>(names: &[Ident], seed: u64) -> u32 {
     let mut arr = A::empty();
@@ -33,31 +33,22 @@ fn workload<A: ScopeArray<u32>>(names: &[Ident], seed: u64) -> u32 {
     acc
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("array_representations");
-    group
-        .sample_size(20)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    let group = Group::new("array_representations").samples(20);
 
     for &n in &[4usize, 16, 64, 256, 1024] {
         let names: Vec<Ident> = ident_names(n)
             .iter()
             .map(|s| Ident::new(s.as_str()))
             .collect();
-        group.throughput(Throughput::Elements((n * 5) as u64));
-        group.bench_with_input(BenchmarkId::new("hash", n), &names, |b, names| {
-            b.iter(|| workload::<HashArray<u32>>(std::hint::black_box(names), 1));
+        group.bench(&format!("hash/{n}"), || {
+            workload::<HashArray<u32>>(std::hint::black_box(&names), 1)
         });
-        group.bench_with_input(BenchmarkId::new("linear", n), &names, |b, names| {
-            b.iter(|| workload::<LinearArray<u32>>(std::hint::black_box(names), 1));
+        group.bench(&format!("linear/{n}"), || {
+            workload::<LinearArray<u32>>(std::hint::black_box(&names), 1)
         });
-        group.bench_with_input(BenchmarkId::new("bst", n), &names, |b, names| {
-            b.iter(|| workload::<BstArray<u32>>(std::hint::black_box(names), 1));
+        group.bench(&format!("bst/{n}"), || {
+            workload::<BstArray<u32>>(std::hint::black_box(&names), 1)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

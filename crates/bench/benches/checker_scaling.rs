@@ -7,10 +7,17 @@
 //! observers, each fully case-covered — so the checker does its full
 //! partition analysis on every operation. Expected shape: roughly linear
 //! in `O × C`.
+//!
+//! The `parallel` section measures the work-pool checker
+//! (`check_completeness_jobs` / `check_consistency_jobs`) on a 64-operation
+//! synthetic spec at 1 vs 4 workers and prints the speedup. On a machine
+//! with ≥4 cores the combined speedup is expected (and asserted) to be
+//! ≥2×; on smaller machines the numbers are reported but not enforced,
+//! since the hardware cannot exhibit the parallelism.
 
-use adt_check::check_completeness;
+use adt_bench::harness::Group;
+use adt_check::{check_completeness, check_completeness_jobs, check_consistency_jobs, ProbeConfig};
 use adt_core::{Spec, SpecBuilder, Term};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 /// Builds a complete synthetic spec with `ctors` constructors and `obs`
 /// observers.
@@ -39,40 +46,50 @@ fn synthetic(ctors: usize, obs: usize) -> Spec {
     b.build().expect("synthetic specs are well-formed")
 }
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("checker_scaling");
-    group
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    let group = Group::new("checker_scaling");
 
     for &(ctors, obs) in &[(2usize, 4usize), (4, 16), (8, 32), (16, 64)] {
         let spec = synthetic(ctors, obs);
-        let label = format!("{ctors}ctors_{obs}obs");
-        group.bench_with_input(BenchmarkId::new("complete", &label), &spec, |b, spec| {
-            b.iter(|| {
-                let report = check_completeness(std::hint::black_box(spec));
-                assert!(report.is_sufficiently_complete());
-                report.coverage().len()
-            });
+        group.bench(&format!("complete/{ctors}ctors_{obs}obs"), || {
+            let report = check_completeness(std::hint::black_box(&spec));
+            assert!(report.is_sufficiently_complete());
+            report.coverage().len()
         });
     }
 
     // The incomplete case (witness synthesis) on the paper's own example.
     let incomplete = adt_structures::specs::queue_spec_incomplete();
-    group.bench_with_input(
-        BenchmarkId::new("incomplete", "queue_minus_axiom4"),
-        &incomplete,
-        |b, spec| {
-            b.iter(|| {
-                let report = check_completeness(std::hint::black_box(spec));
-                assert_eq!(report.missing_case_count(), 1);
-                report.missing_case_count()
-            });
-        },
-    );
-    group.finish();
-}
+    group.bench("incomplete/queue_minus_axiom4", || {
+        let report = check_completeness(std::hint::black_box(&incomplete));
+        assert_eq!(report.missing_case_count(), 1);
+        report.missing_case_count()
+    });
 
-criterion_group!(benches, bench);
-criterion_main!(benches);
+    // The multi-threaded variant: one synthetic spec with 64 operations,
+    // checked with 1 worker and with 4. Probing is capped so the run stays
+    // within the bench budget; the per-item work (pattern analysis, pair
+    // classification, probe normalization) is what the pool distributes.
+    let spec = synthetic(8, 64);
+    let probe = ProbeConfig {
+        samples: 64,
+        ..ProbeConfig::default()
+    };
+    let check_all = |jobs: usize| {
+        let comp = check_completeness_jobs(&spec, jobs);
+        assert!(comp.is_sufficiently_complete());
+        let cons = check_consistency_jobs(&spec, &probe, jobs);
+        (comp.coverage().len(), cons.pairs_checked())
+    };
+    let seq = group.bench("parallel/64ops_jobs1", || check_all(1));
+    let par = group.bench("parallel/64ops_jobs4", || check_all(4));
+    let speedup = par.speedup_over(&seq);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("checker_scaling/parallel speedup at 4 workers: {speedup:.2}x ({cores} core(s))");
+    if cores >= 4 {
+        assert!(
+            speedup >= 2.0,
+            "expected >=2x speedup at 4 workers on {cores} cores, got {speedup:.2}x"
+        );
+    }
+}

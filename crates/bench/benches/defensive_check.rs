@@ -10,50 +10,36 @@
 //! call). The paper predicts a small but real per-operation overhead —
 //! the argument for conditional correctness when the environment is known.
 
+use adt_bench::harness::Group;
 use adt_structures::{AttrList, Ident, SymbolTable};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 const N: usize = 1_000;
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("defensive_check");
-    group
-        .sample_size(30)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900));
-    group.throughput(Throughput::Elements(N as u64));
+fn main() {
+    let group = Group::new("defensive_check").samples(30);
 
     let names: Vec<Ident> = (0..64).map(|i| Ident::new(format!("v{i}"))).collect();
     let attrs = AttrList::new().with("type", "integer");
 
-    group.bench_with_input(BenchmarkId::new("unchecked", N), &names, |b, names| {
-        b.iter(|| {
-            let mut st: SymbolTable = SymbolTable::init();
-            for i in 0..N {
-                st.add(names[i % names.len()].clone(), attrs.clone());
-                if i % 97 == 0 {
-                    st.enter_block();
-                }
+    group.bench(&format!("unchecked/{N}"), || {
+        let mut st: SymbolTable = SymbolTable::init();
+        for i in 0..N {
+            st.add(names[i % names.len()].clone(), attrs.clone());
+            if i % 97 == 0 {
+                st.enter_block();
             }
-            st.depth()
-        });
+        }
+        st.depth()
     });
 
-    group.bench_with_input(BenchmarkId::new("defensive", N), &names, |b, names| {
-        b.iter(|| {
-            let mut st: SymbolTable = SymbolTable::init();
-            for i in 0..N {
-                st.add_defensive(names[i % names.len()].clone(), attrs.clone());
-                if i % 97 == 0 {
-                    st.enter_block();
-                }
+    group.bench(&format!("defensive/{N}"), || {
+        let mut st: SymbolTable = SymbolTable::init();
+        for i in 0..N {
+            st.add_defensive(names[i % names.len()].clone(), attrs.clone());
+            if i % 97 == 0 {
+                st.enter_block();
             }
-            st.depth()
-        });
+        }
+        st.depth()
     });
-
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

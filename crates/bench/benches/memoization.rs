@@ -15,37 +15,31 @@
 //! workload decision, not a free win — which is why it is an opt-in
 //! constructor (`Rewriter::memoizing`) rather than the default.
 
+use adt_bench::harness::Group;
 use adt_bench::workloads::queue_term;
 use adt_rewrite::Rewriter;
 use adt_structures::specs::queue_spec;
-use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = queue_spec();
     let sig = spec.sig();
 
-    let mut group = c.benchmark_group("memoization");
-    group
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900));
+    let group = Group::new("memoization");
 
     // Shape 1: single term, fresh cache — the overhead case.
     for &n in &[32usize, 128] {
         let front = sig
             .apply("FRONT", vec![queue_term(&spec, n, 0, 7)])
             .unwrap();
-        group.bench_with_input(BenchmarkId::new("single_plain", n), &front, |b, t| {
-            let rw = Rewriter::new(&spec).with_fuel(1_000_000_000);
-            b.iter(|| rw.normalize(std::hint::black_box(t)).unwrap());
+        let plain = Rewriter::new(&spec).with_fuel(1_000_000_000);
+        group.bench(&format!("single_plain/{n}"), || {
+            plain.normalize(std::hint::black_box(&front)).unwrap()
         });
-        group.bench_with_input(BenchmarkId::new("single_memo", n), &front, |b, t| {
-            b.iter_batched(
-                || Rewriter::new(&spec).with_fuel(1_000_000_000).memoizing(),
-                |rw| rw.normalize(std::hint::black_box(t)).unwrap(),
-                BatchSize::SmallInput,
-            );
-        });
+        group.bench_batched(
+            &format!("single_memo/{n}"),
+            || Rewriter::new(&spec).with_fuel(1_000_000_000).memoizing(),
+            |rw| rw.normalize(std::hint::black_box(&front)).unwrap(),
+        );
     }
 
     // Shape 2: many observers over one shared state — the win case.
@@ -60,36 +54,22 @@ fn bench(c: &mut Criterion) {
                 sig.apply(op, vec![state.clone()]).unwrap()
             })
             .collect();
-        group.bench_with_input(
-            BenchmarkId::new("queries_plain", queries),
-            &observations,
-            |b, obs| {
-                let rw = Rewriter::new(&spec).with_fuel(1_000_000_000);
-                b.iter(|| {
-                    obs.iter()
-                        .map(|t| rw.normalize(std::hint::black_box(t)).unwrap().size())
-                        .sum::<usize>()
-                });
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("queries_memo", queries),
-            &observations,
-            |b, obs| {
-                b.iter_batched(
-                    || Rewriter::new(&spec).with_fuel(1_000_000_000).memoizing(),
-                    |rw| {
-                        obs.iter()
-                            .map(|t| rw.normalize(std::hint::black_box(t)).unwrap().size())
-                            .sum::<usize>()
-                    },
-                    BatchSize::SmallInput,
-                );
+        let plain = Rewriter::new(&spec).with_fuel(1_000_000_000);
+        group.bench(&format!("queries_plain/{queries}"), || {
+            observations
+                .iter()
+                .map(|t| plain.normalize(std::hint::black_box(t)).unwrap().size())
+                .sum::<usize>()
+        });
+        group.bench_batched(
+            &format!("queries_memo/{queries}"),
+            || Rewriter::new(&spec).with_fuel(1_000_000_000).memoizing(),
+            |rw| {
+                observations
+                    .iter()
+                    .map(|t| rw.normalize(std::hint::black_box(t)).unwrap().size())
+                    .sum::<usize>()
             },
         );
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -9,43 +9,34 @@
 //! prefix) — exactly why one wants the *implementation* once access
 //! patterns are known, while the spec stays the contract.
 
+use adt_bench::harness::Group;
 use adt_bench::workloads::queue_term;
 use adt_rewrite::Rewriter;
 use adt_structures::specs::queue_spec;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = queue_spec();
     let rw = Rewriter::new(&spec).with_fuel(100_000_000);
     let sig = spec.sig();
 
-    let mut group = c.benchmark_group("rewrite_queue");
-    group
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900));
+    let group = Group::new("rewrite_queue");
 
     for &n in &[8usize, 32, 128] {
         let chain = queue_term(&spec, n, 0, 7);
-        group.throughput(Throughput::Elements(n as u64));
 
         let front = sig.apply("FRONT", vec![chain.clone()]).unwrap();
-        group.bench_with_input(BenchmarkId::new("front", n), &front, |b, t| {
-            b.iter(|| rw.normalize(std::hint::black_box(t)).unwrap());
+        group.bench(&format!("front/{n}"), || {
+            rw.normalize(std::hint::black_box(&front)).unwrap()
         });
 
         let is_empty = sig.apply("IS_EMPTY?", vec![chain.clone()]).unwrap();
-        group.bench_with_input(BenchmarkId::new("is_empty", n), &is_empty, |b, t| {
-            b.iter(|| rw.normalize(std::hint::black_box(t)).unwrap());
+        group.bench(&format!("is_empty/{n}"), || {
+            rw.normalize(std::hint::black_box(&is_empty)).unwrap()
         });
 
         let drain = queue_term(&spec, n, n, 7);
-        group.bench_with_input(BenchmarkId::new("drain", n), &drain, |b, t| {
-            b.iter(|| rw.normalize(std::hint::black_box(t)).unwrap());
+        group.bench(&format!("drain/{n}"), || {
+            rw.normalize(std::hint::black_box(&drain)).unwrap()
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

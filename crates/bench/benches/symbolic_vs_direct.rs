@@ -12,11 +12,11 @@
 //! the gap *grows* with trace length (rewriting cost grows with term
 //! size, the implementation's per-op cost is O(1) amortized).
 
+use adt_bench::harness::Group;
 use adt_bench::workloads::{symtab_term, symtab_trace, SymOp};
 use adt_rewrite::Rewriter;
 use adt_structures::specs::symboltable_spec;
 use adt_structures::{AttrList, Ident, SymbolTable};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn run_direct(trace: &[SymOp]) -> usize {
     let idents = ["ID_X", "ID_Y", "ID_Z"];
@@ -40,45 +40,30 @@ fn run_direct(trace: &[SymOp]) -> usize {
     hits
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let spec = symboltable_spec();
-    let mut group = c.benchmark_group("symbolic_vs_direct");
-    group
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900));
+    let group = Group::new("symbolic_vs_direct");
 
     for &len in &[16usize, 64, 256] {
         let trace = symtab_trace(len, 8, 0xC0FFEE);
-        group.throughput(Throughput::Elements(len as u64));
 
-        group.bench_with_input(BenchmarkId::new("direct", len), &trace, |b, trace| {
-            b.iter(|| run_direct(std::hint::black_box(trace)));
+        group.bench(&format!("direct/{len}"), || {
+            run_direct(std::hint::black_box(&trace))
         });
 
         let (state, observers) = symtab_term(&spec, &trace);
         let rw = Rewriter::new(&spec).with_fuel(50_000_000);
-        group.bench_with_input(
-            BenchmarkId::new("symbolic", len),
-            &(state, observers),
-            |b, (state, observers)| {
-                b.iter(|| {
-                    let mut hits = 0usize;
-                    let state_nf = rw.normalize(std::hint::black_box(state)).unwrap();
-                    let _ = state_nf;
-                    for obs in observers {
-                        let nf = rw.normalize(obs).unwrap();
-                        if !nf.is_error() {
-                            hits += 1;
-                        }
-                    }
-                    hits
-                });
-            },
-        );
+        group.bench(&format!("symbolic/{len}"), || {
+            let mut hits = 0usize;
+            let state_nf = rw.normalize(std::hint::black_box(&state)).unwrap();
+            let _ = state_nf;
+            for obs in &observers {
+                let nf = rw.normalize(obs).unwrap();
+                if !nf.is_error() {
+                    hits += 1;
+                }
+            }
+            hits
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

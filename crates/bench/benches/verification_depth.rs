@@ -10,19 +10,15 @@
 //!   the Symboltable representation (translate all 18 obligations, prove
 //!   each under Assumption 1).
 
+use adt_bench::harness::Group;
 use adt_structures::models::fifo_model;
 use adt_structures::specs::{queue_spec, symboltable_spec, symtab_rep_op_map, symtab_rep_spec};
 use adt_verify::{
     check_axioms, translate_obligations, verify_obligation, AxiomCheckConfig, ProofConfig,
 };
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-fn bench(c: &mut Criterion) {
-    let mut group = c.benchmark_group("verification_depth");
-    group
-        .sample_size(10)
-        .warm_up_time(std::time::Duration::from_millis(200))
-        .measurement_time(std::time::Duration::from_millis(900));
+fn main() {
+    let group = Group::new("verification_depth");
 
     let spec = queue_spec();
     let model = fifo_model(&spec);
@@ -35,35 +31,27 @@ fn bench(c: &mut Criterion) {
             random_depth: depth,
             seed: 1,
         };
-        group.bench_with_input(BenchmarkId::new("bounded_check", depth), &cfg, |b, cfg| {
-            b.iter(|| {
-                let report = check_axioms(&model, std::hint::black_box(cfg));
-                assert!(report.passed());
-                report.instances_checked
-            });
+        group.bench(&format!("bounded_check/{depth}"), || {
+            let report = check_axioms(&model, std::hint::black_box(&cfg));
+            assert!(report.passed());
+            report.instances_checked
         });
     }
 
     // The representation proof, end to end.
     let abs = symboltable_spec();
     let rep = symtab_rep_spec();
-    group.bench_function("symboltable_representation_proof", |b| {
-        b.iter(|| {
-            let (ext, obligations) =
-                translate_obligations(&abs, &rep, &symtab_rep_op_map(), Some("PHI")).unwrap();
-            let cfg = ProofConfig::default().restrict("Stack", &["PUSH"]);
-            let mut proved = 0;
-            for ob in &obligations {
-                if verify_obligation(&ext, ob, &cfg).unwrap().is_proved() {
-                    proved += 1;
-                }
+    group.bench("symboltable_representation_proof", || {
+        let (ext, obligations) =
+            translate_obligations(&abs, &rep, &symtab_rep_op_map(), Some("PHI")).unwrap();
+        let cfg = ProofConfig::default().restrict("Stack", &["PUSH"]);
+        let mut proved = 0;
+        for ob in &obligations {
+            if verify_obligation(&ext, ob, &cfg).unwrap().is_proved() {
+                proved += 1;
             }
-            assert_eq!(proved, 18);
-            proved
-        });
+        }
+        assert_eq!(proved, 18);
+        proved
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,12 +1,186 @@
-//! # adt-bench — workload generators for the benchmark harness
+//! # adt-bench — workload generators and a dependency-free harness
 //!
-//! The Criterion benches under `benches/` regenerate every measured row
-//! of EXPERIMENTS.md; this library holds the deterministic workload
+//! The benches under `benches/` regenerate every measured row of
+//! EXPERIMENTS.md; this library holds the deterministic workload
 //! generators they share, so a bench and its corresponding test exercise
-//! identical operation sequences.
+//! identical operation sequences, plus the [`harness`] module — a small
+//! `std`-only timing loop that replaces the external Criterion
+//! dependency so the whole workspace builds offline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod harness {
+    //! A minimal micro-benchmark harness over [`std::time::Instant`].
+    //!
+    //! Each measurement warms the routine up, picks an iteration count
+    //! that fills a per-sample time budget, takes a fixed number of
+    //! samples and reports the *median* per-iteration time (medians are
+    //! robust to scheduler noise, which matters more than statistical
+    //! power for the factor-level comparisons EXPERIMENTS.md makes).
+    //!
+    //! Set `ADT_BENCH_QUICK=1` to shrink the budgets ~10× for smoke runs.
+
+    use std::hint::black_box;
+    use std::time::{Duration, Instant};
+
+    /// One completed measurement.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Measurement {
+        /// Median wall-clock time of one routine invocation.
+        pub per_iter: Duration,
+        /// Iterations per sample the harness settled on.
+        pub iters: u64,
+        /// Number of samples taken.
+        pub samples: u32,
+    }
+
+    impl Measurement {
+        /// `self` as a speedup factor over `other` (>1 means `self` is
+        /// faster).
+        pub fn speedup_over(&self, other: &Measurement) -> f64 {
+            other.per_iter.as_secs_f64() / self.per_iter.as_secs_f64().max(f64::MIN_POSITIVE)
+        }
+    }
+
+    /// A named group of related measurements, printed as
+    /// `group/label  <time>/iter`.
+    #[derive(Debug)]
+    pub struct Group {
+        name: String,
+        samples: u32,
+        warmup: Duration,
+        budget: Duration,
+    }
+
+    impl Group {
+        /// Starts a group with the default budget (10 samples over
+        /// ~900 ms, after ~200 ms of warm-up — the same budget the old
+        /// Criterion configuration used).
+        pub fn new(name: &str) -> Self {
+            let quick = std::env::var_os("ADT_BENCH_QUICK").is_some_and(|v| v != "0");
+            let (warmup, budget) = if quick {
+                (Duration::from_millis(20), Duration::from_millis(90))
+            } else {
+                (Duration::from_millis(200), Duration::from_millis(900))
+            };
+            Group {
+                name: name.to_string(),
+                samples: 10,
+                warmup,
+                budget,
+            }
+        }
+
+        /// Overrides the number of samples.
+        #[must_use]
+        pub fn samples(mut self, samples: u32) -> Self {
+            self.samples = samples.max(1);
+            self
+        }
+
+        /// Overrides the warm-up and measurement budgets (mainly for
+        /// tests and one-off quick runs).
+        #[must_use]
+        pub fn budget(mut self, warmup: Duration, budget: Duration) -> Self {
+            self.warmup = warmup;
+            self.budget = budget;
+            self
+        }
+
+        /// Measures `routine`, prints one line, and returns the
+        /// measurement.
+        pub fn bench<R>(&self, label: &str, mut routine: impl FnMut() -> R) -> Measurement {
+            // Warm-up doubles as the iteration-count estimate.
+            let warm_start = Instant::now();
+            let mut warm_iters = 0u64;
+            while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+                black_box(routine());
+                warm_iters += 1;
+            }
+            let est = warm_start.elapsed() / u32::try_from(warm_iters).unwrap_or(u32::MAX);
+            let per_sample = self.budget / self.samples;
+            let iters = (per_sample.as_nanos() / est.as_nanos().max(1))
+                .clamp(1, u128::from(u32::MAX)) as u64;
+
+            let mut times = Vec::with_capacity(self.samples as usize);
+            for _ in 0..self.samples {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(routine());
+                }
+                times.push(t.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX));
+            }
+            self.report(label, &mut times, iters)
+        }
+
+        /// Measures `routine` over inputs produced per-iteration by
+        /// `setup`; only the routine is timed (the replacement for
+        /// Criterion's `iter_batched`).
+        pub fn bench_batched<S, R>(
+            &self,
+            label: &str,
+            mut setup: impl FnMut() -> S,
+            mut routine: impl FnMut(S) -> R,
+        ) -> Measurement {
+            let warm_start = Instant::now();
+            let mut warm_iters = 0u64;
+            let mut warm_spent = Duration::ZERO;
+            while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+                let input = setup();
+                let t = Instant::now();
+                black_box(routine(input));
+                warm_spent += t.elapsed();
+                warm_iters += 1;
+            }
+            let est = warm_spent / u32::try_from(warm_iters).unwrap_or(u32::MAX);
+            let per_sample = self.budget / self.samples;
+            let iters = (per_sample.as_nanos() / est.as_nanos().max(1))
+                .clamp(1, u128::from(u32::MAX)) as u64;
+
+            let mut times = Vec::with_capacity(self.samples as usize);
+            for _ in 0..self.samples {
+                let inputs: Vec<S> = (0..iters).map(|_| setup()).collect();
+                let t = Instant::now();
+                for input in inputs {
+                    black_box(routine(input));
+                }
+                times.push(t.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX));
+            }
+            self.report(label, &mut times, iters)
+        }
+
+        fn report(&self, label: &str, times: &mut [Duration], iters: u64) -> Measurement {
+            times.sort_unstable();
+            let per_iter = times[times.len() / 2];
+            println!(
+                "{}/{label:<28} {:>12}/iter   ({} samples x {iters} iters)",
+                self.name,
+                fmt_duration(per_iter),
+                times.len(),
+            );
+            Measurement {
+                per_iter,
+                iters,
+                samples: self.samples,
+            }
+        }
+    }
+
+    /// Renders a duration with an adaptive unit (`ns`, `µs`, `ms`, `s`).
+    pub fn fmt_duration(d: Duration) -> String {
+        let ns = d.as_nanos();
+        if ns < 1_000 {
+            format!("{ns} ns")
+        } else if ns < 1_000_000 {
+            format!("{:.2} µs", ns as f64 / 1_000.0)
+        } else if ns < 1_000_000_000 {
+            format!("{:.2} ms", ns as f64 / 1_000_000.0)
+        } else {
+            format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+        }
+    }
+}
 
 pub mod workloads {
     //! Deterministic pseudo-random workloads over symbol tables, arrays
@@ -214,5 +388,51 @@ mod tests {
         let names = ident_names(100);
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), 100);
+    }
+
+    mod harness {
+        use crate::harness::{fmt_duration, Group};
+        use std::time::Duration;
+
+        fn quick_group(name: &str) -> Group {
+            Group::new(name)
+                .samples(3)
+                .budget(Duration::from_millis(2), Duration::from_millis(9))
+        }
+
+        #[test]
+        fn bench_measures_and_orders_work() {
+            let g = quick_group("harness_test");
+            let fast = g.bench("fast", || std::hint::black_box(1u64 + 1));
+            let slow = g.bench("slow", || {
+                let mut acc = 0u64;
+                for i in 0..20_000u64 {
+                    acc = acc.wrapping_add(std::hint::black_box(i));
+                }
+                acc
+            });
+            assert!(fast.iters >= 1 && slow.iters >= 1);
+            assert!(slow.per_iter >= fast.per_iter);
+            assert!(slow.speedup_over(&fast) <= 1.0 + f64::EPSILON);
+        }
+
+        #[test]
+        fn bench_batched_runs_setup_per_iteration() {
+            let g = quick_group("harness_test");
+            let m = g.bench_batched(
+                "batched",
+                || vec![1u32, 2, 3],
+                |v| v.into_iter().sum::<u32>(),
+            );
+            assert!(m.per_iter > Duration::ZERO);
+        }
+
+        #[test]
+        fn durations_format_with_adaptive_units() {
+            assert_eq!(fmt_duration(Duration::from_nanos(120)), "120 ns");
+            assert_eq!(fmt_duration(Duration::from_nanos(2_500)), "2.50 µs");
+            assert_eq!(fmt_duration(Duration::from_millis(3)), "3.00 ms");
+            assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+        }
     }
 }

@@ -14,8 +14,11 @@
 
 use std::collections::HashSet;
 use std::fmt;
+use std::time::Instant;
 
 use adt_core::{display, OpId, Signature, SortId, Spec, Term, VarId};
+
+use crate::parallel::{run_indexed, CheckStats};
 
 /// A caveat noted while converting an axiom left-hand side to a coverage
 /// pattern. Patterns with caveats are treated conservatively (as covering
@@ -119,12 +122,19 @@ impl OpCoverage {
 pub struct CompletenessReport {
     spec: Spec,
     coverage: Vec<OpCoverage>,
+    stats: CheckStats,
 }
 
 impl CompletenessReport {
     /// The specification extended with witness variables.
     pub fn spec(&self) -> &Spec {
         &self.spec
+    }
+
+    /// Telemetry from the run (worker utilization, per-op analysis time).
+    /// Timings vary between runs; everything else in the report does not.
+    pub fn stats(&self) -> &CheckStats {
+        &self.stats
     }
 
     /// Per-operation coverage, in operation-declaration order.
@@ -198,57 +208,108 @@ enum Witness {
     Ctor(OpId, Vec<Witness>),
 }
 
+/// The order-independent part of one operation's analysis: everything
+/// except witness materialization (which mints shared fresh variables and
+/// must therefore run sequentially, in operation-declaration order).
+struct OpAnalysis {
+    op: OpId,
+    op_name: String,
+    notes: Vec<PatternNote>,
+    missing_cases: Vec<Vec<Witness>>,
+    axiom_count: usize,
+    time: std::time::Duration,
+}
+
+/// Builds the pattern matrix for `op` and enumerates its missing cases.
+/// Pure with respect to `spec` — safe to run on any worker thread.
+fn analyze_op(spec: &Spec, op: OpId) -> OpAnalysis {
+    let started = Instant::now();
+    let info = spec.sig().op(op);
+    let op_name = info.name().to_owned();
+    let arg_sorts: Vec<SortId> = info.args().to_vec();
+
+    let mut notes = Vec::new();
+    let mut matrix: Vec<Vec<Pat>> = Vec::new();
+    let mut axiom_count = 0;
+    for ax in spec.axioms_for(op) {
+        axiom_count += 1;
+        let Term::App(_, args) = ax.lhs() else {
+            continue;
+        };
+        let mut seen = HashSet::new();
+        let row: Vec<Pat> = args
+            .iter()
+            .map(|a| to_pat(a, spec.sig(), ax.label(), &mut seen, &mut notes))
+            .collect();
+        // Rows with opaque positions cannot be relied on for coverage;
+        // the corresponding note was already recorded.
+        if row.iter().all(|p| !has_opaque(p)) {
+            matrix.push(row);
+        }
+    }
+
+    // Partition the all-wildcard case along the constructor patterns
+    // of the rows; every partition no row subsumes is a missing case.
+    let root_case: Vec<Witness> = arg_sorts.iter().map(|&s| Witness::Any(s)).collect();
+    let mut missing_cases: Vec<Vec<Witness>> = Vec::new();
+    let mut budget = CASE_BUDGET;
+    enumerate_missing(
+        &matrix,
+        root_case,
+        spec.sig(),
+        &mut missing_cases,
+        &mut budget,
+    );
+
+    OpAnalysis {
+        op,
+        op_name,
+        notes,
+        missing_cases,
+        axiom_count,
+        time: started.elapsed(),
+    }
+}
+
 /// Checks the sufficient completeness of a specification.
 ///
 /// Every non-constructor, non-builtin operation is analysed; for each, the
 /// left-hand sides of its axioms are compiled to a pattern matrix, and
 /// missing constructor cases are enumerated (up to an internal bound of 64
 /// witnesses per operation, which no sane specification approaches).
+///
+/// Runs on the calling thread; see [`check_completeness_jobs`] for the
+/// parallel variant (whose report is identical apart from timing stats).
 pub fn check_completeness(spec: &Spec) -> CompletenessReport {
+    check_completeness_jobs(spec, 1)
+}
+
+/// [`check_completeness`] with the per-operation analysis fanned out
+/// across `jobs` worker threads (`0` = every available core).
+///
+/// The expensive phase — pattern-matrix construction and missing-case
+/// enumeration — is independent per operation and runs in parallel. The
+/// cheap phase — materializing witness terms, which mints fresh variables
+/// in a shared signature — runs sequentially afterwards, in
+/// operation-declaration order. The report is therefore *identical* to the
+/// sequential one, byte for byte, at any job count; only
+/// [`CompletenessReport::stats`] timings differ.
+pub fn check_completeness_jobs(spec: &Spec, jobs: usize) -> CompletenessReport {
+    let derived: Vec<OpId> = spec.derived_ops().collect();
+    let run = run_indexed(jobs, &derived, |_, &op| analyze_op(spec, op));
+
+    let mut stats = CheckStats::default();
+    stats.absorb(&run.busy, run.elapsed, derived.len());
+
     let mut sig = spec.sig().clone();
     let mut witness_vars: Vec<(SortId, Vec<VarId>)> = Vec::new();
     let mut coverage = Vec::new();
-
-    let derived: Vec<OpId> = spec.derived_ops().collect();
-    for op in derived {
-        let info = spec.sig().op(op);
-        let op_name = info.name().to_owned();
-        let arg_sorts: Vec<SortId> = info.args().to_vec();
-
-        let mut notes = Vec::new();
-        let mut matrix: Vec<Vec<Pat>> = Vec::new();
-        let mut axiom_count = 0;
-        for ax in spec.axioms_for(op) {
-            axiom_count += 1;
-            let Term::App(_, args) = ax.lhs() else {
-                continue;
-            };
-            let mut seen = HashSet::new();
-            let row: Vec<Pat> = args
-                .iter()
-                .map(|a| to_pat(a, spec.sig(), ax.label(), &mut seen, &mut notes))
-                .collect();
-            // Rows with opaque positions cannot be relied on for coverage;
-            // the corresponding note was already recorded.
-            if row.iter().all(|p| !has_opaque(p)) {
-                matrix.push(row);
-            }
-        }
-
-        // Partition the all-wildcard case along the constructor patterns
-        // of the rows; every partition no row subsumes is a missing case.
-        let root_case: Vec<Witness> = arg_sorts.iter().map(|&s| Witness::Any(s)).collect();
-        let mut missing_cases: Vec<Vec<Witness>> = Vec::new();
-        let mut budget = CASE_BUDGET;
-        enumerate_missing(
-            &matrix,
-            root_case,
-            spec.sig(),
-            &mut missing_cases,
-            &mut budget,
-        );
-
-        let missing: Vec<Term> = missing_cases
+    for analysis in run.results {
+        stats
+            .op_times
+            .push((analysis.op_name.clone(), analysis.time));
+        let missing: Vec<Term> = analysis
+            .missing_cases
             .iter()
             .map(|case| {
                 let terms: Vec<Term> = {
@@ -257,20 +318,20 @@ pub fn check_completeness(spec: &Spec) -> CompletenessReport {
                         .map(|w| materialize_inner(w, &mut sig, &mut witness_vars, &mut counters))
                         .collect()
                 };
-                Term::App(op, terms)
+                Term::App(analysis.op, terms)
             })
             .collect();
 
         coverage.push(OpCoverage {
-            op,
-            op_name,
+            op: analysis.op,
+            op_name: analysis.op_name,
             coverage: if missing.is_empty() {
                 Coverage::Complete
             } else {
                 Coverage::Missing(missing)
             },
-            notes,
-            axiom_count,
+            notes: analysis.notes,
+            axiom_count: analysis.axiom_count,
         });
     }
 
@@ -282,7 +343,11 @@ pub fn check_completeness(spec: &Spec) -> CompletenessReport {
         spec.params().to_vec(),
     )
     .expect("extending a valid spec with variables keeps it valid");
-    CompletenessReport { spec, coverage }
+    CompletenessReport {
+        spec,
+        coverage,
+        stats,
+    }
 }
 
 fn to_pat(

@@ -17,10 +17,10 @@
 
 use std::collections::HashSet;
 
-use adt_core::{display, match_pattern, OpId, Signature, SortId, Spec, Term};
-use adt_rewrite::{critical_pairs, PairStatus, Rewriter};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use adt_core::{display, match_pattern, DetRng, OpId, Signature, SortId, Spec, Term};
+use adt_rewrite::{classify_superposition, superpositions, PairStatus, Rewriter};
+
+use crate::parallel::{run_indexed, CheckStats};
 
 /// Evidence of an inconsistency: one term, two distinguishable values.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -78,6 +78,7 @@ pub struct ConsistencyReport {
     unresolved_pairs: usize,
     pairs_checked: usize,
     probes_run: usize,
+    stats: CheckStats,
     /// Specification copy the evidence terms are rendered against.
     spec: Spec,
 }
@@ -111,6 +112,12 @@ impl ConsistencyReport {
     /// Number of ground probes executed.
     pub fn probes_run(&self) -> usize {
         self.probes_run
+    }
+
+    /// Telemetry from the run (worker utilization, rewrite steps).
+    /// Timings vary between runs; everything else in the report does not.
+    pub fn stats(&self) -> &CheckStats {
+        &self.stats
     }
 
     /// The specification the evidence is rendered against.
@@ -155,19 +162,40 @@ pub fn check_consistency(spec: &Spec) -> ConsistencyReport {
     check_consistency_with(spec, &ProbeConfig::default())
 }
 
-/// Checks the consistency of a specification.
+/// Checks the consistency of a specification on the calling thread. See
+/// [`check_consistency_jobs`] for the parallel variant (whose report is
+/// identical apart from timing stats).
 pub fn check_consistency_with(spec: &Spec, probe: &ProbeConfig) -> ConsistencyReport {
+    check_consistency_jobs(spec, probe, 1)
+}
+
+/// [`check_consistency_with`] with both phases fanned out across `jobs`
+/// worker threads (`0` = every available core).
+///
+/// Determinism: superpositions are enumerated sequentially (their order
+/// defines the contradiction list order) and only *classified* in
+/// parallel; probe terms are sampled sequentially from the seeded RNG and
+/// only *normalized* in parallel. Both merges restore input order, so the
+/// report is byte-identical to the sequential one at any job count.
+pub fn check_consistency_jobs(spec: &Spec, probe: &ProbeConfig, jobs: usize) -> ConsistencyReport {
     let mut contradictions = Vec::new();
     let mut unresolved = 0;
+    let mut stats = CheckStats::default();
 
-    // Phase 1: critical pairs.
-    let analysis = critical_pairs(spec).expect("critical-pair analysis on a valid spec");
-    let pairs_checked = analysis.pairs.len();
-    for pair in &analysis.pairs {
+    // Phase 1: critical pairs — sequential enumeration, parallel joining.
+    let set = superpositions(spec).expect("critical-pair analysis on a valid spec");
+    let pairs_checked = set.superpositions.len();
+    let ext_rw = Rewriter::new(&set.spec);
+    let pair_run = run_indexed(jobs, &set.superpositions, |_, sp| {
+        classify_superposition(&ext_rw, sp)
+    });
+    stats.absorb(&pair_run.busy, pair_run.elapsed, pairs_checked);
+    stats.pairs_checked = pairs_checked;
+    for pair in &pair_run.results {
         match &pair.status {
             PairStatus::Joinable(_) => {}
             PairStatus::Diverged { left_nf, right_nf } => {
-                if distinguishable(analysis.spec.sig(), left_nf, right_nf) {
+                if distinguishable(set.spec.sig(), left_nf, right_nf) {
                     contradictions.push(Contradiction {
                         peak: pair.peak.clone(),
                         left_nf: left_nf.clone(),
@@ -182,21 +210,30 @@ pub fn check_consistency_with(spec: &Spec, probe: &ProbeConfig) -> ConsistencyRe
         }
     }
 
-    // Phase 2: randomized ground probing.
+    // Phase 2: randomized ground probing — sequential sampling (the RNG
+    // stream is one deterministic sequence), parallel normalization.
     let rw = Rewriter::new(spec);
-    let mut rng = StdRng::seed_from_u64(probe.seed);
-    let mut probes_run = 0;
+    let mut rng = DetRng::new(probe.seed);
     let observers: Vec<OpId> = spec.derived_ops().collect();
+    let mut probe_terms = Vec::new();
     if !observers.is_empty() {
         for _ in 0..probe.samples {
-            let op = observers[rng.gen_range(0..observers.len())];
-            let Some(term) = random_application(spec.sig(), op, probe.max_depth, &mut rng) else {
-                continue;
-            };
-            probes_run += 1;
-            if let Some(c) = probe_divergence(&rw, spec.sig(), &term) {
-                contradictions.push(c);
+            let op = observers[rng.below(observers.len())];
+            if let Some(term) = random_application(spec.sig(), op, probe.max_depth, &mut rng) {
+                probe_terms.push(term);
             }
+        }
+    }
+    let probes_run = probe_terms.len();
+    let probe_run = run_indexed(jobs, &probe_terms, |_, term| {
+        probe_divergence(&rw, spec.sig(), term)
+    });
+    stats.absorb(&probe_run.busy, probe_run.elapsed, probes_run);
+    stats.probes_run = probes_run;
+    for (found, steps) in probe_run.results {
+        stats.rewrite_steps += steps;
+        if let Some(c) = found {
+            contradictions.push(c);
         }
     }
 
@@ -218,7 +255,8 @@ pub fn check_consistency_with(spec: &Spec, probe: &ProbeConfig) -> ConsistencyRe
         unresolved_pairs: unresolved,
         pairs_checked,
         probes_run,
-        spec: analysis.spec,
+        stats,
+        spec: set.spec,
     }
 }
 
@@ -228,7 +266,7 @@ pub fn random_application(
     sig: &Signature,
     op: OpId,
     max_depth: usize,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
 ) -> Option<Term> {
     let args: Option<Vec<Term>> = sig
         .op(op)
@@ -246,7 +284,7 @@ pub fn random_ctor_term(
     sig: &Signature,
     sort: SortId,
     max_depth: usize,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
 ) -> Option<Term> {
     let ctors: Vec<OpId> = sig.constructors_of(sort).collect();
     if ctors.is_empty() {
@@ -265,7 +303,7 @@ pub fn random_ctor_term(
     } else {
         ctors
     };
-    let ctor = usable[rng.gen_range(0..usable.len())];
+    let ctor = usable[rng.below(usable.len())];
     let args: Option<Vec<Term>> = sig
         .op(ctor)
         .args()
@@ -276,8 +314,14 @@ pub fn random_ctor_term(
 }
 
 /// Enumerates every one-step reduct of `term` (any rule, any position),
-/// normalizes each, and reports the first distinguishable disagreement.
-fn probe_divergence(rw: &Rewriter<'_>, sig: &Signature, term: &Term) -> Option<Contradiction> {
+/// normalizes each, and reports the first distinguishable disagreement
+/// plus the number of rewrite steps spent.
+fn probe_divergence(
+    rw: &Rewriter<'_>,
+    sig: &Signature,
+    term: &Term,
+) -> (Option<Contradiction>, u64) {
+    let mut steps = 0;
     let mut normal_forms: Vec<Term> = Vec::new();
     for (pos, sub) in term.subterms() {
         if let Term::App(op, _) = sub {
@@ -287,8 +331,9 @@ fn probe_divergence(rw: &Rewriter<'_>, sig: &Signature, term: &Term) -> Option<C
                     let rewritten = term
                         .replace_at(&pos, contractum)
                         .expect("position from subterms()");
-                    if let Ok(nf) = rw.normalize(&rewritten) {
-                        normal_forms.push(nf);
+                    if let Ok(norm) = rw.normalize_full(&rewritten) {
+                        steps += norm.steps;
+                        normal_forms.push(norm.term);
                     }
                 }
             }
@@ -297,16 +342,19 @@ fn probe_divergence(rw: &Rewriter<'_>, sig: &Signature, term: &Term) -> Option<C
     for i in 0..normal_forms.len() {
         for j in (i + 1)..normal_forms.len() {
             if distinguishable(sig, &normal_forms[i], &normal_forms[j]) {
-                return Some(Contradiction {
-                    peak: term.clone(),
-                    left_nf: normal_forms[i].clone(),
-                    right_nf: normal_forms[j].clone(),
-                    source: "ground-probe",
-                });
+                return (
+                    Some(Contradiction {
+                        peak: term.clone(),
+                        left_nf: normal_forms[i].clone(),
+                        right_nf: normal_forms[j].clone(),
+                        source: "ground-probe",
+                    }),
+                    steps,
+                );
             }
         }
     }
-    None
+    (None, steps)
 }
 
 #[cfg(test)]
@@ -398,9 +446,33 @@ mod tests {
     }
 
     #[test]
+    fn parallel_report_matches_sequential() {
+        for spec in [consistent_spec(), inconsistent_spec()] {
+            let cfg = ProbeConfig::default();
+            let seq = check_consistency_jobs(&spec, &cfg, 1);
+            let par = check_consistency_jobs(&spec, &cfg, 4);
+            assert_eq!(seq.verdict(), par.verdict());
+            assert_eq!(seq.contradictions(), par.contradictions());
+            assert_eq!(seq.pairs_checked(), par.pairs_checked());
+            assert_eq!(seq.probes_run(), par.probes_run());
+            assert_eq!(seq.unresolved_pairs(), par.unresolved_pairs());
+            assert_eq!(seq.summary(), par.summary());
+        }
+    }
+
+    #[test]
+    fn stats_count_pairs_and_probes() {
+        let report = check_consistency(&consistent_spec());
+        let stats = report.stats();
+        assert_eq!(stats.pairs_checked, report.pairs_checked());
+        assert_eq!(stats.probes_run, report.probes_run());
+        assert_eq!(stats.items, report.pairs_checked() + report.probes_run());
+    }
+
+    #[test]
     fn random_ctor_terms_respect_depth() {
         let spec = consistent_spec();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::new(3);
         let s = spec.sig().find_sort("Nat").unwrap();
         for _ in 0..100 {
             let t = random_ctor_term(spec.sig(), s, 4, &mut rng).unwrap();
@@ -417,7 +489,7 @@ mod tests {
         let mk = b.ctor("MK", [item], s);
         let _ = mk;
         let spec = b.build().unwrap();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = DetRng::new(3);
         // S's only constructor needs an Item, and Item has none.
         let sid = spec.sig().find_sort("S").unwrap();
         assert!(random_ctor_term(spec.sig(), sid, 4, &mut rng).is_none());

@@ -52,12 +52,18 @@ mod classify;
 mod completeness;
 mod consistency;
 mod lint;
+pub mod parallel;
 
 pub use classify::{classification_warnings, infer_constructors};
-pub use completeness::{check_completeness, CompletenessReport, Coverage, OpCoverage, PatternNote};
-pub use consistency::{
-    check_consistency, ConsistencyReport, ConsistencyVerdict, Contradiction, ProbeConfig,
+pub use completeness::{
+    check_completeness, check_completeness_jobs, CompletenessReport, Coverage, OpCoverage,
+    PatternNote,
 };
+pub use consistency::{
+    check_consistency, check_consistency_jobs, check_consistency_with, ConsistencyReport,
+    ConsistencyVerdict, Contradiction, ProbeConfig,
+};
+pub use parallel::CheckStats;
 pub use lint::{
     overlap_warnings, overlapping_axioms, recursion_warnings, OverlapPair, RecursionWarning,
 };

@@ -1,0 +1,264 @@
+//! A dependency-free parallel work pool and check instrumentation.
+//!
+//! The ROADMAP's north star is a checker that is "as fast as the hardware
+//! allows". Both checks — and `adt-verify`'s axiom-instance evaluation —
+//! reduce to the same shape: a list of *independent* work items (operations
+//! to analyse, critical pairs to classify, probes to normalize, instances to
+//! evaluate) whose *results must come back in input order* so reports stay
+//! byte-identical to the sequential path.
+//!
+//! [`run_indexed`] implements exactly that shape on `std::thread::scope`:
+//! workers claim chunks of the item index space from a shared atomic
+//! counter (a degenerate but contention-free form of work stealing — idle
+//! workers take the next chunk rather than stealing from a victim), tag
+//! every result with its item index, and the merge step sorts by index.
+//! Determinism therefore does not depend on scheduling: only the *timing*
+//! numbers in [`CheckStats`] vary between runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Resolves a requested job count: `0` means "use every available core"
+/// (per `std::thread::available_parallelism`), anything else is taken
+/// literally.
+pub fn effective_jobs(requested: usize) -> usize {
+    if requested == 0 {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    } else {
+        requested
+    }
+}
+
+/// The outcome of one pool run: in-order results plus timing telemetry.
+#[derive(Debug, Clone)]
+pub struct PoolRun<R> {
+    /// One result per input item, in input order.
+    pub results: Vec<R>,
+    /// Per-worker busy time (time spent inside the work closure's loop).
+    pub busy: Vec<Duration>,
+    /// Wall time of the whole run, including spawn and merge.
+    pub elapsed: Duration,
+}
+
+/// Runs `work(index, &items[index])` for every item and returns the
+/// results **in item order**, fanning the items across `jobs` worker
+/// threads (resolved by [`effective_jobs`]; capped at the item count).
+///
+/// Workers claim fixed-size chunks of the index space from an atomic
+/// cursor, so items are processed at most once and no queue allocation or
+/// locking is needed. With `jobs <= 1` — or a single item — the work runs
+/// on the calling thread, making the sequential path literally the same
+/// code minus the spawn.
+///
+/// # Panics
+///
+/// Propagates a panic from `work` (the pool joins every worker).
+pub fn run_indexed<T, R, F>(jobs: usize, items: &[T], work: F) -> PoolRun<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let started = Instant::now();
+    let jobs = effective_jobs(jobs).min(items.len()).max(1);
+    if jobs == 1 {
+        let t0 = Instant::now();
+        let results = items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
+        let busy = vec![t0.elapsed()];
+        return PoolRun {
+            results,
+            busy,
+            elapsed: started.elapsed(),
+        };
+    }
+
+    // Chunk size balances claim overhead against load balance: aim for a
+    // few claims per worker, but never below one item.
+    let chunk = (items.len() / (jobs * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let work = &work;
+    let per_worker: Vec<(Vec<(usize, R)>, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..jobs)
+            .map(|_| {
+                scope.spawn(|| {
+                    let t0 = Instant::now();
+                    let mut out = Vec::new();
+                    loop {
+                        let base = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if base >= items.len() {
+                            break;
+                        }
+                        let end = (base + chunk).min(items.len());
+                        for (idx, item) in items.iter().enumerate().take(end).skip(base) {
+                            out.push((idx, work(idx, item)));
+                        }
+                    }
+                    (out, t0.elapsed())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("check worker panicked"))
+            .collect()
+    });
+
+    let busy = per_worker.iter().map(|(_, d)| *d).collect();
+    let mut indexed: Vec<(usize, R)> = per_worker
+        .into_iter()
+        .flat_map(|(results, _)| results)
+        .collect();
+    indexed.sort_by_key(|&(i, _)| i);
+    let results = indexed.into_iter().map(|(_, r)| r).collect();
+    PoolRun {
+        results,
+        busy,
+        elapsed: started.elapsed(),
+    }
+}
+
+/// Observability counters for one checking run.
+///
+/// Everything here is *telemetry*: two runs of the same check produce
+/// identical reports but different `CheckStats` timings. Comparisons of
+/// checker output must therefore never include the stats — which is why
+/// the report types expose them through a getter instead of folding them
+/// into `PartialEq`.
+#[derive(Debug, Clone, Default)]
+pub struct CheckStats {
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Independent work items processed (ops, pairs, probes, instances).
+    pub items: usize,
+    /// Critical pairs classified (consistency checks only).
+    pub pairs_checked: usize,
+    /// Ground probes normalized (consistency checks only).
+    pub probes_run: usize,
+    /// Rewrite steps performed by instrumented normalizations.
+    pub rewrite_steps: u64,
+    /// Wall time of the parallel phase(s).
+    pub elapsed: Duration,
+    /// Per-worker busy time.
+    pub busy: Vec<Duration>,
+    /// Per-operation analysis wall time (completeness checks only), in
+    /// operation-declaration order.
+    pub op_times: Vec<(String, Duration)>,
+}
+
+impl CheckStats {
+    /// Folds a pool run's telemetry into the stats.
+    pub fn absorb(&mut self, run_busy: &[Duration], run_elapsed: Duration, items: usize) {
+        self.items += items;
+        self.elapsed += run_elapsed;
+        for (i, b) in run_busy.iter().enumerate() {
+            if i < self.busy.len() {
+                self.busy[i] += *b;
+            } else {
+                self.busy.push(*b);
+            }
+        }
+        self.jobs = self.jobs.max(run_busy.len());
+    }
+
+    /// Fraction of `jobs × elapsed` the workers spent busy, in `0.0..=1.0`.
+    /// Near 1.0 means the fan-out kept every worker fed.
+    pub fn utilization(&self) -> f64 {
+        if self.jobs == 0 || self.elapsed.is_zero() {
+            return 0.0;
+        }
+        let total_busy: Duration = self.busy.iter().sum();
+        (total_busy.as_secs_f64() / (self.elapsed.as_secs_f64() * self.jobs as f64)).min(1.0)
+    }
+
+    /// Renders the stats in the `adt check --stats` format.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "stats: {} job(s), {} item(s), {} pair(s), {} probe(s), {} rewrite step(s)\n",
+            self.jobs, self.items, self.pairs_checked, self.probes_run, self.rewrite_steps
+        );
+        out.push_str(&format!(
+            "stats: wall {:?}, utilization {:.0}%\n",
+            self.elapsed,
+            self.utilization() * 100.0
+        ));
+        for (op, t) in &self.op_times {
+            out.push_str(&format!("stats:   {op}: {t:?}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        for jobs in [1, 2, 4, 7] {
+            let run = run_indexed(jobs, &items, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            let expect: Vec<usize> = items.iter().map(|x| x * 3).collect();
+            assert_eq!(run.results, expect, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let run = run_indexed::<usize, usize, _>(4, &[], |_, &x| x);
+        assert!(run.results.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        let run = run_indexed(8, &[41], |_, &x| x + 1);
+        assert_eq!(run.results, vec![42]);
+        assert_eq!(run.busy.len(), 1, "one item needs one worker");
+    }
+
+    #[test]
+    fn jobs_zero_means_available_parallelism() {
+        assert!(effective_jobs(0) >= 1);
+        assert_eq!(effective_jobs(3), 3);
+    }
+
+    #[test]
+    fn parallel_equals_sequential_on_heavier_work() {
+        let items: Vec<u64> = (0..256).collect();
+        let work = |_: usize, &x: &u64| -> u64 {
+            // A little arithmetic so workers actually interleave.
+            (0..x % 97).fold(x, |acc, k| acc.wrapping_mul(31).wrapping_add(k))
+        };
+        let seq = run_indexed(1, &items, work);
+        let par = run_indexed(4, &items, work);
+        assert_eq!(seq.results, par.results);
+    }
+
+    #[test]
+    fn utilization_is_bounded() {
+        let items: Vec<usize> = (0..64).collect();
+        let run = run_indexed(4, &items, |_, &x| x);
+        let mut stats = CheckStats::default();
+        stats.absorb(&run.busy, run.elapsed, items.len());
+        let u = stats.utilization();
+        assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
+        assert_eq!(stats.items, 64);
+    }
+
+    #[test]
+    fn render_mentions_jobs_and_items() {
+        let mut stats = CheckStats {
+            jobs: 4,
+            items: 10,
+            ..CheckStats::default()
+        };
+        stats.op_times.push(("FRONT".into(), Duration::from_millis(2)));
+        let text = stats.render();
+        assert!(text.contains("4 job(s)"), "{text}");
+        assert!(text.contains("FRONT"), "{text}");
+    }
+}

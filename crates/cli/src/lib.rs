@@ -23,8 +23,8 @@ use std::fmt::Write as _;
 use std::fs;
 
 use adt_check::{
-    check_completeness, check_consistency, classification_warnings, overlap_warnings,
-    recursion_warnings,
+    check_completeness_jobs, check_consistency_jobs, classification_warnings, overlap_warnings,
+    recursion_warnings, CheckStats, ProbeConfig,
 };
 use adt_core::{display, Spec};
 use adt_dsl::{parse, parse_term, print_spec};
@@ -56,7 +56,10 @@ impl Outcome {
 
 /// The usage banner.
 pub const USAGE: &str = "usage:
-  adt check <file.adt>                 parse and run the mechanical checks
+  adt check [--jobs N] [--stats] <file.adt>
+                                       parse and run the mechanical checks
+                                       (--jobs 0 = all cores; --stats prints
+                                       worker/probe telemetry)
   adt fmt <file.adt>                   print the canonical form
   adt eval <file.adt> <term>           normalize a term
   adt trace <file.adt> <term>          normalize, printing the derivation
@@ -64,12 +67,53 @@ pub const USAGE: &str = "usage:
   adt repl <file.adt>                  interactive symbolic interpretation
 ";
 
+/// Options parsed from `adt check` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct CheckOpts {
+    /// Worker threads (`0` = every available core). The default, 1, keeps
+    /// output timing-free and matches the sequential checker exactly.
+    jobs: usize,
+    /// Whether to print the [`CheckStats`] telemetry after the report.
+    stats: bool,
+}
+
+/// Splits `--jobs N` / `--stats` out of a `check` argument list, leaving
+/// the positional arguments in place.
+fn parse_check_flags(args: &[String]) -> Result<(CheckOpts, Vec<String>), String> {
+    let mut opts = CheckOpts {
+        jobs: 1,
+        stats: false,
+    };
+    let mut positional = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--stats" => opts.stats = true,
+            "--jobs" => {
+                let Some(n) = it.next() else {
+                    return Err("--jobs needs a number (0 = all cores)\n".to_owned());
+                };
+                opts.jobs = n
+                    .parse()
+                    .map_err(|_| format!("--jobs: `{n}` is not a number\n"))?;
+            }
+            _ => positional.push(arg.clone()),
+        }
+    }
+    Ok((opts, positional))
+}
+
 /// Runs the tool on already-split arguments (without the program name).
 pub fn run(args: &[String]) -> Outcome {
     match args {
         [] => Outcome::usage(USAGE.to_owned()),
         [cmd, rest @ ..] => match cmd.as_str() {
-            "check" => with_file(rest, 0, |spec, _| cmd_check(spec)),
+            "check" => match parse_check_flags(rest) {
+                Ok((opts, positional)) => {
+                    with_file(&positional, 0, |spec, _| cmd_check(spec, &opts))
+                }
+                Err(msg) => Outcome::usage(format!("{msg}{USAGE}")),
+            },
             "fmt" => with_file(rest, 0, |spec, _| Outcome::ok(print_spec(spec))),
             "eval" => with_file(rest, 1, |spec, extra| cmd_eval(spec, &extra[0], false)),
             "trace" => with_file(rest, 1, |spec, extra| cmd_eval(spec, &extra[0], true)),
@@ -101,7 +145,7 @@ fn with_file(
     }
 }
 
-fn cmd_check(spec: &Spec) -> Outcome {
+fn cmd_check(spec: &Spec, opts: &CheckOpts) -> Outcome {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -113,7 +157,7 @@ fn cmd_check(spec: &Spec) -> Outcome {
     );
     let mut failed = false;
 
-    let completeness = check_completeness(spec);
+    let completeness = check_completeness_jobs(spec, opts.jobs);
     if completeness.is_sufficiently_complete() {
         let _ = writeln!(out, "sufficiently complete: yes");
     } else {
@@ -124,7 +168,7 @@ fn cmd_check(spec: &Spec) -> Outcome {
         }
     }
 
-    let consistency = check_consistency(spec);
+    let consistency = check_consistency_jobs(spec, &ProbeConfig::default(), opts.jobs);
     if consistency.is_consistent() {
         let _ = writeln!(
             out,
@@ -148,6 +192,21 @@ fn cmd_check(spec: &Spec) -> Outcome {
     }
     for w in recursion_warnings(spec) {
         let _ = writeln!(out, "warning: {w}");
+    }
+
+    if opts.stats {
+        // Fold both phases into one telemetry block. Timings vary between
+        // runs; everything above this line does not.
+        let mut stats = CheckStats::default();
+        let c = completeness.stats();
+        stats.absorb(&c.busy, c.elapsed, c.items);
+        stats.op_times = c.op_times.clone();
+        let k = consistency.stats();
+        stats.absorb(&k.busy, k.elapsed, k.items);
+        stats.pairs_checked = k.pairs_checked;
+        stats.probes_run = k.probes_run;
+        stats.rewrite_steps = k.rewrite_steps;
+        out.push_str(&stats.render());
     }
 
     if failed {
@@ -299,6 +358,41 @@ end
         assert!(out.output.contains("sufficiently complete: yes"));
         assert!(out.output.contains("consistent: yes"));
         let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_jobs_and_stats_flags_are_parsed() {
+        let path = fixture("flags", QUEUE);
+        let out = run(&args(&[
+            "check",
+            "--jobs",
+            "4",
+            "--stats",
+            path.to_str().unwrap(),
+        ]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("stats: 4 job(s)"), "{}", out.output);
+        assert!(out.output.contains("utilization"), "{}", out.output);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_report_is_identical_across_job_counts() {
+        let path = fixture("jobseq", QUEUE);
+        let seq = run(&args(&["check", "--jobs", "1", path.to_str().unwrap()]));
+        let par = run(&args(&["check", "--jobs", "4", path.to_str().unwrap()]));
+        assert_eq!(seq, par);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_rejects_malformed_jobs_flag() {
+        let out = run(&args(&["check", "--jobs", "many", "x.adt"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("not a number"));
+        let out = run(&args(&["check", "--jobs"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("--jobs needs a number"));
     }
 
     #[test]

@@ -60,6 +60,7 @@ mod axiom;
 mod error;
 mod ids;
 mod matching;
+mod rng;
 mod signature;
 mod spec;
 mod subst;
@@ -72,6 +73,7 @@ pub use axiom::Axiom;
 pub use error::CoreError;
 pub use ids::{OpId, SortId, VarId};
 pub use matching::{match_pattern, match_pattern_at_root};
+pub use rng::DetRng;
 pub use signature::{OpInfo, Signature, SortInfo, VarInfo};
 pub use spec::{Spec, SpecBuilder};
 pub use subst::Subst;

@@ -89,18 +89,53 @@ impl CriticalPairAnalysis {
     }
 }
 
-/// Computes all critical pairs of the specification's axioms and checks
-/// each for joinability by normalization (with a bounded case-split
-/// fallback for conditional right-hand sides).
+/// One superposition: a critical pair before joinability classification.
+///
+/// Produced by [`superpositions`]; classified into a [`CriticalPair`] by
+/// [`classify_superposition`]. The split exists so callers (the parallel
+/// checking engine in `adt-check`) can enumerate sequentially — the
+/// enumeration order defines report order — and classify each pair on any
+/// worker thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Superposition {
+    /// Label of the rule applied at the root.
+    pub outer_rule: String,
+    /// Label of the rule applied at `position`.
+    pub inner_rule: String,
+    /// The overlap position inside `outer_rule`'s left-hand side.
+    pub position: Position,
+    /// The common ancestor `σ(l_outer)`.
+    pub peak: Term,
+    /// The root-rewrite reduct `σ(r_outer)`.
+    pub left: Term,
+    /// The inner-rewrite reduct `σ(l_outer[r_inner]_p)`.
+    pub right: Term,
+}
+
+/// All superpositions of a specification, with the variable-renamed
+/// extension of the spec their terms live in.
+#[derive(Debug, Clone)]
+pub struct SuperpositionSet {
+    /// The input specification extended with renamed-apart variables.
+    pub spec: Spec,
+    /// Superpositions in deterministic (outer rule, inner rule, position)
+    /// enumeration order.
+    pub superpositions: Vec<Superposition>,
+}
+
+/// Enumerates every non-trivial superposition of the specification's
+/// axioms *without* checking joinability.
 ///
 /// Trivial self-overlaps (a rule superposed on itself at the root) are
-/// skipped, as are overlaps at variable positions.
+/// skipped, as are overlaps at variable positions. The returned order is
+/// deterministic: outer rules in axiom order, inner rules in axiom order,
+/// positions in `subterms()` order.
 ///
 /// # Errors
 ///
 /// Returns an error only if the extended specification cannot be
 /// constructed (which would indicate a bug, not bad input).
-pub fn critical_pairs(spec: &Spec) -> Result<CriticalPairAnalysis> {
+pub fn superpositions(spec: &Spec) -> Result<SuperpositionSet> {
     // Extend the signature with a renamed copy of every variable, so the
     // two rules of a pair never share variables.
     let mut sig = spec.sig().clone();
@@ -125,10 +160,8 @@ pub fn critical_pairs(spec: &Spec) -> Result<CriticalPairAnalysis> {
     .map_err(crate::RewriteError::from)?;
 
     let rules = RuleSet::from_spec(&extended);
-    let rw = Rewriter::new(&extended);
-
     let all_rules: Vec<_> = rules.iter().collect();
-    let mut pairs = Vec::new();
+    let mut found = Vec::new();
     for (oi, outer) in all_rules.iter().enumerate() {
         for (ii, inner) in all_rules.iter().enumerate() {
             let inner_lhs = renaming.apply(inner.lhs());
@@ -151,21 +184,66 @@ pub fn critical_pairs(spec: &Spec) -> Result<CriticalPairAnalysis> {
                     .replace_at(&pos, inner_rhs.clone())
                     .expect("position came from subterms()");
                 let right = deep_apply(subst, &replaced);
-                let status = join(&rw, &left, &right);
-                pairs.push(CriticalPair {
+                found.push(Superposition {
                     outer_rule: outer.label().to_owned(),
                     inner_rule: inner.label().to_owned(),
                     position: pos,
                     peak,
                     left,
                     right,
-                    status,
                 });
             }
         }
     }
-    Ok(CriticalPairAnalysis {
+    Ok(SuperpositionSet {
         spec: extended,
+        superpositions: found,
+    })
+}
+
+/// Classifies one superposition as joinable, diverged, or unknown, by
+/// normalizing both reducts with the given rewriter.
+///
+/// The rewriter must have been built over [`SuperpositionSet::spec`] (the
+/// extended spec), not the original input spec. Safe to call from several
+/// threads at once when the rewriter is shared by reference.
+pub fn classify_superposition(rw: &Rewriter<'_>, sp: &Superposition) -> CriticalPair {
+    let status = join(rw, &sp.left, &sp.right);
+    CriticalPair {
+        outer_rule: sp.outer_rule.clone(),
+        inner_rule: sp.inner_rule.clone(),
+        position: sp.position.clone(),
+        peak: sp.peak.clone(),
+        left: sp.left.clone(),
+        right: sp.right.clone(),
+        status,
+    }
+}
+
+/// Computes all critical pairs of the specification's axioms and checks
+/// each for joinability by normalization (with a bounded case-split
+/// fallback for conditional right-hand sides).
+///
+/// Trivial self-overlaps (a rule superposed on itself at the root) are
+/// skipped, as are overlaps at variable positions.
+///
+/// Equivalent to [`superpositions`] followed by [`classify_superposition`]
+/// on each pair in order.
+///
+/// # Errors
+///
+/// Returns an error only if the extended specification cannot be
+/// constructed (which would indicate a bug, not bad input).
+pub fn critical_pairs(spec: &Spec) -> Result<CriticalPairAnalysis> {
+    let set = superpositions(spec)?;
+    let rw = Rewriter::new(&set.spec);
+    let pairs = set
+        .superpositions
+        .iter()
+        .map(|sp| classify_superposition(&rw, sp))
+        .collect();
+    Ok(CriticalPairAnalysis {
+        spec: set.spec,
         pairs,
     })
 }

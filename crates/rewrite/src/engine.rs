@@ -2,8 +2,10 @@
 //! boolean conditionals, contextual assumptions, and a case-splitting
 //! equality prover.
 
-use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
 
 use adt_core::{match_pattern, Ite, Spec, Term};
 
@@ -131,7 +133,72 @@ pub struct Rewriter<'a> {
     spec: &'a Spec,
     rules: RuleSet,
     fuel: u64,
-    memo: Option<RefCell<HashMap<Term, Term>>>,
+    memo: Option<ShardedMemo>,
+}
+
+/// Number of lock shards in the memo table. Sixteen keeps contention low
+/// for every worker-pool width this workspace uses while costing only a
+/// few hundred bytes when idle.
+const MEMO_SHARDS: usize = 16;
+
+/// A sharded, mutex-guarded normal-form cache.
+///
+/// Terms are distributed across [`MEMO_SHARDS`] independent
+/// `Mutex<HashMap>` shards by hash, so concurrent `normalize` calls from
+/// a worker pool mostly lock disjoint shards. The cache stores only
+/// context-free facts (ground term → normal form), so any interleaving of
+/// insertions yields the same lookups — sharing one memo across threads
+/// cannot change results.
+#[derive(Debug, Default)]
+struct ShardedMemo {
+    shards: Vec<Mutex<HashMap<Term, Term>>>,
+}
+
+impl ShardedMemo {
+    fn new() -> Self {
+        ShardedMemo {
+            shards: (0..MEMO_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    fn shard(&self, term: &Term) -> &Mutex<HashMap<Term, Term>> {
+        let mut hasher = DefaultHasher::new();
+        term.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % MEMO_SHARDS]
+    }
+
+    fn get(&self, term: &Term) -> Option<Term> {
+        self.shard(term)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .get(term)
+            .cloned()
+    }
+
+    fn insert(&self, term: Term, nf: Term) {
+        self.shard(&term)
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(term, nf);
+    }
+}
+
+impl Clone for ShardedMemo {
+    fn clone(&self) -> Self {
+        ShardedMemo {
+            shards: self
+                .shards
+                .iter()
+                .map(|s| {
+                    Mutex::new(
+                        s.lock()
+                            .unwrap_or_else(std::sync::PoisonError::into_inner)
+                            .clone(),
+                    )
+                })
+                .collect(),
+        }
+    }
 }
 
 /// Default fuel limit: generous for every workload in this repository
@@ -169,9 +236,13 @@ impl<'a> Rewriter<'a> {
     /// (a memo hit would hide derivation steps). Turns the quadratic
     /// re-derivation pattern of observers like `FRONT` into near-linear
     /// work — measured by the `memoization` benchmark.
+    ///
+    /// The cache is a sharded, mutex-guarded map, so a memoizing rewriter
+    /// is `Sync`: the parallel checking engine shares one rewriter (and
+    /// one cache) across its worker threads.
     #[must_use]
     pub fn memoizing(mut self) -> Self {
-        self.memo = Some(RefCell::new(HashMap::new()));
+        self.memo = Some(ShardedMemo::new());
         self
     }
 
@@ -336,11 +407,10 @@ impl<'a> Rewriter<'a> {
         // are worth caching, and only outside assumption contexts and
         // traces.
         let memo_key = match &self.memo {
-            Some(_) if asms.is_empty() && !st.tracing() && matches!(term, Term::App(_, _)) => {
+            Some(memo) if asms.is_empty() && !st.tracing() && matches!(term, Term::App(_, _)) => {
                 if term.is_ground() {
-                    let memo = self.memo.as_ref().expect("checked above");
-                    if let Some(hit) = memo.borrow().get(&term) {
-                        return Ok(hit.clone());
+                    if let Some(hit) = memo.get(&term) {
+                        return Ok(hit);
                     }
                     Some(term.clone())
                 } else {
@@ -354,7 +424,6 @@ impl<'a> Rewriter<'a> {
             self.memo
                 .as_ref()
                 .expect("key only exists when memoizing")
-                .borrow_mut()
                 .insert(key, result.clone());
         }
         Ok(result)

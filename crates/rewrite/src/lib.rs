@@ -60,7 +60,10 @@ mod rule;
 mod symbolic;
 mod trace;
 
-pub use critical::{critical_pairs, CriticalPair, PairStatus};
+pub use critical::{
+    classify_superposition, critical_pairs, superpositions, CriticalPair, PairStatus,
+    Superposition, SuperpositionSet,
+};
 pub use engine::{residual_conditionals, Normalization, Proof, Rewriter};
 pub use error::RewriteError;
 pub use rule::{Rule, RuleSet};

@@ -1,0 +1,135 @@
+//! Thread-safety stress tests for the sharded rewrite memo: many threads
+//! normalizing through one shared memoizing [`Rewriter`] must produce
+//! exactly the normal forms the sequential engine produces, with no
+//! deadlock — the property the parallel checking engine relies on when it
+//! shares a rewriter across its worker pool.
+
+use adt_core::DetRng;
+use adt_rewrite::Rewriter;
+use adt_structures::specs::{queue_spec, symboltable_spec};
+
+/// Builds a ground Queue term of `adds` enqueues then `removes` dequeues,
+/// with items drawn from a seeded stream.
+fn queue_term(spec: &adt_core::Spec, adds: usize, removes: usize, rng: &mut DetRng) -> adt_core::Term {
+    let sig = spec.sig();
+    let items = ["A", "B", "C"];
+    let mut t = sig.apply("NEW", vec![]).unwrap();
+    for _ in 0..adds {
+        let item = sig.apply(items[rng.below(3)], vec![]).unwrap();
+        t = sig.apply("ADD", vec![t, item]).unwrap();
+    }
+    for _ in 0..removes {
+        t = sig.apply("REMOVE", vec![t]).unwrap();
+    }
+    t
+}
+
+#[test]
+fn concurrent_normalization_matches_sequential_normal_forms() {
+    let spec = queue_spec();
+    let sig = spec.sig();
+
+    // A workload with heavy shared structure: observers over overlapping
+    // queue states, so threads race on the same memo entries.
+    let mut rng = DetRng::new(0xC0_FFEE);
+    let mut terms = Vec::new();
+    for _ in 0..48 {
+        let adds = 1 + rng.below(24);
+        let removes = rng.below(adds);
+        let state = queue_term(&spec, adds, removes, &mut rng);
+        let op = ["FRONT", "IS_EMPTY?", "REMOVE"][rng.below(3)];
+        terms.push(sig.apply(op, vec![state]).unwrap());
+    }
+
+    // Sequential ground truth from a plain (unmemoized) rewriter.
+    let plain = Rewriter::new(&spec).with_fuel(1_000_000_000);
+    let expected: Vec<_> = terms.iter().map(|t| plain.normalize(t).unwrap()).collect();
+
+    // One shared memoizing rewriter, hammered from 8 threads, each
+    // walking the whole term list in a different order.
+    let memo = Rewriter::new(&spec).with_fuel(1_000_000_000).memoizing();
+    std::thread::scope(|scope| {
+        for offset in 0..8 {
+            let memo = &memo;
+            let terms = &terms;
+            let expected = &expected;
+            scope.spawn(move || {
+                for round in 0..3 {
+                    for k in 0..terms.len() {
+                        let idx = (k * (offset + 1) + round * 7) % terms.len();
+                        let nf = memo.normalize(&terms[idx]).unwrap();
+                        assert_eq!(nf, expected[idx], "term {idx} from thread {offset}");
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn concurrent_symboltable_queries_share_one_memo() {
+    let spec = symboltable_spec();
+    let sig = spec.sig();
+
+    // One deep state, many observers — the access pattern the memo is
+    // for: every thread's RETRIEVE shares the state's subterms.
+    let mut state = sig.apply("INIT", vec![]).unwrap();
+    let attr = sig.apply("ATTR_1", vec![]).unwrap();
+    let idents = ["ID_X", "ID_Y", "ID_Z"];
+    for k in 0..12 {
+        if k % 5 == 0 {
+            state = sig.apply("ENTERBLOCK", vec![state]).unwrap();
+        }
+        let id = sig.apply(idents[k % 3], vec![]).unwrap();
+        state = sig.apply("ADD", vec![state, id, attr.clone()]).unwrap();
+    }
+    let queries: Vec<_> = (0..idents.len())
+        .map(|k| {
+            let id = sig.apply(idents[k], vec![]).unwrap();
+            sig.apply("RETRIEVE", vec![state.clone(), id]).unwrap()
+        })
+        .collect();
+
+    let plain = Rewriter::new(&spec).with_fuel(1_000_000_000);
+    let expected: Vec<_> = queries.iter().map(|t| plain.normalize(t).unwrap()).collect();
+
+    let memo = Rewriter::new(&spec).with_fuel(1_000_000_000).memoizing();
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            let memo = &memo;
+            let queries = &queries;
+            let expected = &expected;
+            scope.spawn(move || {
+                for _ in 0..4 {
+                    for (q, want) in queries.iter().zip(expected) {
+                        assert_eq!(&memo.normalize(q).unwrap(), want);
+                    }
+                }
+            });
+        }
+    });
+}
+
+#[test]
+fn memoized_results_stay_correct_after_concurrent_warmup() {
+    // After the concurrent phase has filled the cache, single-threaded
+    // reads must still agree with the plain engine (no torn entries).
+    let spec = queue_spec();
+    let sig = spec.sig();
+    let mut rng = DetRng::new(7);
+    let deep = queue_term(&spec, 32, 16, &mut rng);
+    let front = sig.apply("FRONT", vec![deep]).unwrap();
+
+    let plain = Rewriter::new(&spec).with_fuel(1_000_000_000);
+    let want = plain.normalize(&front).unwrap();
+
+    let memo = Rewriter::new(&spec).with_fuel(1_000_000_000).memoizing();
+    std::thread::scope(|scope| {
+        for _ in 0..4 {
+            let memo = &memo;
+            let front = &front;
+            scope.spawn(move || memo.normalize(front).unwrap());
+        }
+    });
+    assert_eq!(memo.normalize(&front).unwrap(), want);
+}

@@ -1,5 +1,7 @@
 //! The paper's PL/I stack: "a pointer to a list of structures" with a
-//! `prev` pointer — here a persistent singly linked stack over `Rc`.
+//! `prev` pointer — here a persistent singly linked stack over `Arc`
+//! (atomically counted, so stacks can cross the parallel checker's
+//! worker threads).
 //!
 //! Persistence (operations return a new stack sharing structure with the
 //! old) mirrors the algebraic reading, where `PUSH(stk, e)` is a *value*
@@ -7,12 +9,12 @@
 //! cloning, exactly like the PL/I pointer version.
 
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 #[derive(Debug)]
 struct Node<T> {
     val: T,
-    prev: Option<Rc<Node<T>>>,
+    prev: Option<Arc<Node<T>>>,
 }
 
 /// A persistent LIFO stack (the paper's `Stack`, axioms 10–16).
@@ -30,7 +32,7 @@ struct Node<T> {
 /// assert!(empty.is_new());
 /// ```
 pub struct LinkedStack<T> {
-    head: Option<Rc<Node<T>>>,
+    head: Option<Arc<Node<T>>>,
     len: usize,
 }
 
@@ -60,7 +62,7 @@ impl<T> LinkedStack<T> {
     #[must_use]
     pub fn push(&self, value: T) -> Self {
         LinkedStack {
-            head: Some(Rc::new(Node {
+            head: Some(Arc::new(Node {
                 val: value,
                 prev: self.head.clone(),
             })),
@@ -117,7 +119,7 @@ impl<T> Drop for LinkedStack<T> {
         // stopping at the first node still shared with another handle.
         let mut cur = self.head.take();
         while let Some(rc) = cur {
-            match Rc::try_unwrap(rc) {
+            match Arc::try_unwrap(rc) {
                 Ok(mut node) => cur = node.prev.take(),
                 Err(_) => break,
             }
@@ -253,7 +255,7 @@ mod tests {
 
     #[test]
     fn deep_stacks_do_not_overflow_on_drop() {
-        // Rc chains drop iteratively only if we are careful; the default
+        // Arc chains drop iteratively only if we are careful; the default
         // recursive drop is fine at this scale, but guard the invariant.
         let mut s = LinkedStack::new();
         for i in 0..100_000 {

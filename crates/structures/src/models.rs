@@ -298,7 +298,7 @@ pub fn sample_ident_universe() -> Vec<Ident> {
 /// sample identifier (what axioms 17–20 let a client see).
 pub fn array_model_with<A>(spec: &Spec) -> TableModel<'_>
 where
-    A: ScopeArray<String> + 'static,
+    A: ScopeArray<String> + Send + Sync + 'static,
 {
     let arr = |v: &MValue| -> A { v.downcast::<A>().unwrap().clone() };
     let mut b = ModelBuilder::new(spec)

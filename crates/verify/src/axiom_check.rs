@@ -10,9 +10,8 @@
 
 use std::collections::HashMap;
 
-use adt_core::{display, Term, VarId};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use adt_check::parallel::{run_indexed, CheckStats};
+use adt_core::{display, DetRng, Term, VarId};
 
 use crate::eval::eval_with_env;
 use crate::gen::{sample_ctor_term, TermPool};
@@ -73,6 +72,9 @@ pub struct AxiomCheckReport {
     /// Labels of axioms skipped because some variable's sort had no
     /// ground constructor terms (uninstantiated parameter sorts).
     pub skipped_axioms: Vec<String>,
+    /// Telemetry from the run (worker utilization). Timings vary between
+    /// runs; everything else in the report does not.
+    pub stats: CheckStats,
 }
 
 impl AxiomCheckReport {
@@ -106,19 +108,47 @@ impl AxiomCheckReport {
     }
 }
 
+/// One axiom instantiation queued for evaluation: the axiom index plus the
+/// ground terms bound to its variables, in variable order.
+struct Instance {
+    axiom: usize,
+    terms: Vec<Term>,
+}
+
 /// Checks every axiom of the model's specification against the
 /// implementation, over enumerated and sampled ground arguments.
-pub fn check_axioms(model: &dyn Model, cfg: &AxiomCheckConfig) -> AxiomCheckReport {
+///
+/// Runs on the calling thread; see [`check_axioms_jobs`] for the parallel
+/// variant (whose report is identical apart from timing stats).
+pub fn check_axioms(model: &(dyn Model + Sync), cfg: &AxiomCheckConfig) -> AxiomCheckReport {
+    check_axioms_jobs(model, cfg, 1)
+}
+
+/// [`check_axioms`] with instance evaluation fanned out across `jobs`
+/// worker threads (`0` = every available core).
+///
+/// Determinism: instances are *generated* sequentially (the exhaustive
+/// odometer plus one seeded RNG stream define the instance list and its
+/// order) and only *evaluated* in parallel; the merge restores generation
+/// order, so the counterexample list is identical to the sequential one at
+/// any job count. The model must be `Sync` — models built from
+/// [`ModelBuilder`](crate::ModelBuilder) with `Send + Sync` values are.
+pub fn check_axioms_jobs(
+    model: &(dyn Model + Sync),
+    cfg: &AxiomCheckConfig,
+    jobs: usize,
+) -> AxiomCheckReport {
     let spec = model.spec();
     let pool = TermPool::build(spec.sig(), cfg.max_depth, cfg.cap_per_sort);
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = DetRng::new(cfg.seed);
 
-    let mut counterexamples = Vec::new();
-    let mut instances_checked = 0;
+    // Phase A (sequential): enumerate the instance list.
+    let axioms = spec.axioms();
+    let axiom_vars: Vec<Vec<VarId>> = axioms.iter().map(|ax| ax.lhs().vars()).collect();
+    let mut instances: Vec<Instance> = Vec::new();
     let mut skipped = Vec::new();
-
-    for axiom in spec.axioms() {
-        let vars = axiom.lhs().vars();
+    for (ai, axiom) in axioms.iter().enumerate() {
+        let vars = &axiom_vars[ai];
         let var_sorts: Vec<_> = vars.iter().map(|&v| spec.sig().var(v).sort()).collect();
         if !pool.inhabits_all(var_sorts.iter().copied()) {
             skipped.push(axiom.label().to_owned());
@@ -133,17 +163,14 @@ pub fn check_axioms(model: &dyn Model, cfg: &AxiomCheckConfig) -> AxiomCheckRepo
             if produced >= cfg.max_instances_per_axiom {
                 break;
             }
-            let env = build_env(model, &vars, |k| choices[k][indices[k]].clone());
-            check_instance(
-                model,
-                axiom.label(),
-                axiom.lhs(),
-                axiom.rhs(),
-                &vars,
-                &env,
-                &mut counterexamples,
-            );
-            instances_checked += 1;
+            instances.push(Instance {
+                axiom: ai,
+                terms: indices
+                    .iter()
+                    .zip(&choices)
+                    .map(|(&i, c)| c[i].clone())
+                    .collect(),
+            });
             produced += 1;
             if vars.is_empty() {
                 break;
@@ -170,25 +197,31 @@ pub fn check_axioms(model: &dyn Model, cfg: &AxiomCheckConfig) -> AxiomCheckRepo
                     .map(|&s| sample_ctor_term(spec.sig(), s, cfg.random_depth, &mut rng))
                     .collect();
                 let Some(sampled) = sampled else { break };
-                let env = build_env(model, &vars, |k| sampled[k].clone());
-                check_instance(
-                    model,
-                    axiom.label(),
-                    axiom.lhs(),
-                    axiom.rhs(),
-                    &vars,
-                    &env,
-                    &mut counterexamples,
-                );
-                instances_checked += 1;
+                instances.push(Instance {
+                    axiom: ai,
+                    terms: sampled,
+                });
             }
         }
     }
+
+    // Phase B (parallel): evaluate every instance against the model.
+    let run = run_indexed(jobs, &instances, |_, inst| {
+        let axiom = &axioms[inst.axiom];
+        let vars = &axiom_vars[inst.axiom];
+        let env = build_env(model, vars, |k| inst.terms[k].clone());
+        check_instance(model, axiom.label(), axiom.lhs(), axiom.rhs(), vars, &env)
+    });
+    let instances_checked = instances.len();
+    let mut stats = CheckStats::default();
+    stats.absorb(&run.busy, run.elapsed, instances_checked);
+    let counterexamples: Vec<CounterExample> = run.results.into_iter().flatten().collect();
 
     AxiomCheckReport {
         counterexamples,
         instances_checked,
         skipped_axioms: skipped,
+        stats,
     }
 }
 
@@ -212,8 +245,7 @@ fn check_instance(
     rhs: &Term,
     vars: &[VarId],
     env: &Env,
-    counterexamples: &mut Vec<CounterExample>,
-) {
+) -> Option<CounterExample> {
     let spec = model.spec();
     let value_env: HashMap<VarId, MValue> =
         env.iter().map(|(&v, (_, val))| (v, val.clone())).collect();
@@ -222,23 +254,24 @@ fn check_instance(
     let sort = lhs
         .sort(spec.sig())
         .expect("axioms are validated before checking");
-    if !model.values_equal(sort, &lhs_value, &rhs_value) {
-        counterexamples.push(CounterExample {
-            axiom: label.to_owned(),
-            bindings: vars
-                .iter()
-                .map(|v| {
-                    let (term, _) = &env[v];
-                    (
-                        spec.sig().var(*v).name().to_owned(),
-                        display::term(spec.sig(), term).to_string(),
-                    )
-                })
-                .collect(),
-            lhs_value,
-            rhs_value,
-        });
+    if model.values_equal(sort, &lhs_value, &rhs_value) {
+        return None;
     }
+    Some(CounterExample {
+        axiom: label.to_owned(),
+        bindings: vars
+            .iter()
+            .map(|v| {
+                let (term, _) = &env[v];
+                (
+                    spec.sig().var(*v).name().to_owned(),
+                    display::term(spec.sig(), term).to_string(),
+                )
+            })
+            .collect(),
+        lhs_value,
+        rhs_value,
+    })
 }
 
 #[cfg(test)]
@@ -246,7 +279,6 @@ mod tests {
     use super::*;
     use crate::model::ModelBuilder;
     use adt_core::{Spec, SpecBuilder};
-    use std::cell::RefCell;
     use std::collections::VecDeque;
 
     /// The Queue of §3, with Item = two constants.
@@ -294,25 +326,20 @@ mod tests {
         b.build().unwrap()
     }
 
-    /// A correct FIFO model over `VecDeque`.
+    /// A correct FIFO model over `VecDeque` (plain values, no interior
+    /// mutability — the model must be `Sync` for the parallel checker).
     fn fifo_model(spec: &Spec) -> crate::TableModel<'_> {
         let deque = |args: &[MValue]| -> VecDeque<String> {
-            args[0]
-                .downcast::<RefCell<VecDeque<String>>>()
-                .unwrap()
-                .borrow()
-                .clone()
+            args[0].downcast::<VecDeque<String>>().unwrap().clone()
         };
         ModelBuilder::new(spec)
-            .op("NEW", |_| {
-                MValue::data(RefCell::new(VecDeque::<String>::new()))
-            })
+            .op("NEW", |_| MValue::data(VecDeque::<String>::new()))
             .op("A", |_| "A".into())
             .op("B", |_| "B".into())
             .op("ADD", move |args| {
                 let mut d = deque(args);
                 d.push_back(args[1].as_str().unwrap().to_owned());
-                MValue::data(RefCell::new(d))
+                MValue::data(d)
             })
             .op("FRONT", move |args| match deque(args).front() {
                 Some(s) => MValue::Str(s.clone()),
@@ -323,16 +350,13 @@ mod tests {
                 if d.pop_front().is_none() {
                     return MValue::Error;
                 }
-                MValue::data(RefCell::new(d))
+                MValue::data(d)
             })
             .op("IS_EMPTY?", move |args| {
                 MValue::Bool(deque(args).is_empty())
             })
             .eq("Queue", |a, b| {
-                a.downcast::<RefCell<VecDeque<String>>>()
-                    .map(|d| d.borrow().clone())
-                    == b.downcast::<RefCell<VecDeque<String>>>()
-                        .map(|d| d.borrow().clone())
+                a.downcast::<VecDeque<String>>() == b.downcast::<VecDeque<String>>()
             })
             .build()
             .unwrap()
@@ -403,6 +427,20 @@ mod tests {
         );
         assert!(!violated.contains("q1"));
         assert!(!violated.contains("q2"));
+    }
+
+    #[test]
+    fn parallel_axiom_check_matches_sequential() {
+        let spec = queue_spec();
+        for model in [fifo_model(&spec), lifo_model(&spec)] {
+            let cfg = AxiomCheckConfig::default();
+            let seq = check_axioms_jobs(&model, &cfg, 1);
+            let par = check_axioms_jobs(&model, &cfg, 4);
+            assert_eq!(seq.passed(), par.passed());
+            assert_eq!(seq.instances_checked, par.instances_checked);
+            assert_eq!(seq.skipped_axioms, par.skipped_axioms);
+            assert_eq!(seq.summary(), par.summary());
+        }
     }
 
     #[test]

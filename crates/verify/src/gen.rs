@@ -6,9 +6,7 @@
 
 use std::collections::HashMap;
 
-use adt_core::{OpId, Signature, SortId, Term};
-use rand::rngs::StdRng;
-use rand::Rng;
+use adt_core::{DetRng, OpId, Signature, SortId, Term};
 
 /// Enumerates all ground constructor terms of `sort` with depth ≤
 /// `max_depth`, capped at `cap` terms (breadth-first by depth, so shallow
@@ -147,7 +145,7 @@ pub fn sample_ctor_term(
     sig: &Signature,
     sort: SortId,
     max_depth: usize,
-    rng: &mut StdRng,
+    rng: &mut DetRng,
 ) -> Option<Term> {
     let ctors: Vec<OpId> = sig.constructors_of(sort).collect();
     if ctors.is_empty() {
@@ -165,7 +163,7 @@ pub fn sample_ctor_term(
     if usable.is_empty() {
         return None;
     }
-    let ctor = usable[rng.gen_range(0..usable.len())];
+    let ctor = usable[rng.below(usable.len())];
     let args: Option<Vec<Term>> = sig
         .op(ctor)
         .args()
@@ -207,7 +205,6 @@ impl TermPool {
 mod tests {
     use super::*;
     use adt_core::{Spec, SpecBuilder};
-    use rand::SeedableRng;
 
     fn queue_spec() -> Spec {
         let mut b = SpecBuilder::new("Queue");
@@ -278,7 +275,7 @@ mod tests {
     fn sampling_is_well_sorted_and_bounded() {
         let spec = queue_spec();
         let queue = spec.sig().find_sort("Queue").unwrap();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = DetRng::new(11);
         for _ in 0..200 {
             let t = sample_ctor_term(spec.sig(), queue, 5, &mut rng).unwrap();
             assert!(t.depth() <= 5);

@@ -23,6 +23,11 @@
 //!   by the paper) at the term level: case-split on constructors,
 //!   skolemize, add induction hypotheses as rewrite rules, and close each
 //!   case with the rewriting prover.
+//! * [`differential_check`] — spec-driven differential testing: bounded
+//!   ground terms are generated from the signature alone, and the model
+//!   must be *invariant under rewriting* (`eval(t) ≡ eval(nf(t))`) — the
+//!   axioms supply both the test cases and the expected results — while
+//!   the parallel and sequential checkers must return identical reports.
 //! * [`translate_obligations`] / [`verify_obligation`] — the §4 proof
 //!   itself: translate each abstract axiom through the implementation
 //!   (primed operations) and Φ, then prove the two sides equal with case
@@ -36,6 +41,7 @@
 #![warn(missing_docs)]
 
 mod axiom_check;
+mod differential;
 mod eval;
 mod gen;
 mod homomorphism;
@@ -44,7 +50,13 @@ mod model;
 mod rep;
 mod value;
 
-pub use axiom_check::{check_axioms, AxiomCheckConfig, AxiomCheckReport, CounterExample};
+pub use axiom_check::{
+    check_axioms, check_axioms_jobs, AxiomCheckConfig, AxiomCheckReport, CounterExample,
+};
+pub use differential::{
+    differential_check, differential_spec_check, DifferentialConfig, DifferentialReport,
+    OracleMismatch,
+};
 pub use eval::{eval_ground, eval_with_env};
 pub use gen::{enumerate_ctor_terms, enumerate_terms, sample_ctor_term, TermPool};
 pub use homomorphism::{check_representation, RepCheckConfig, RepCheckReport, RepMismatch};

@@ -3,7 +3,7 @@
 //! from closures.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use adt_core::{OpId, SortId, Spec};
 
@@ -46,8 +46,10 @@ pub trait Model {
     }
 }
 
-type OpFn = Rc<dyn Fn(&[MValue]) -> MValue>;
-type EqFn = Rc<dyn Fn(&MValue, &MValue) -> bool>;
+// `Arc … + Send + Sync` so a built model can be shared by reference
+// across the parallel checker's worker threads.
+type OpFn = Arc<dyn Fn(&[MValue]) -> MValue + Send + Sync>;
+type EqFn = Arc<dyn Fn(&MValue, &MValue) -> bool + Send + Sync>;
 
 /// A [`Model`] assembled from per-operation closures.
 ///
@@ -142,8 +144,8 @@ impl<'a> ModelBuilder<'a> {
     /// Starts a model for `spec` with the booleans pre-wired.
     pub fn new(spec: &'a Spec) -> Self {
         let mut ops: HashMap<OpId, OpFn> = HashMap::new();
-        ops.insert(spec.sig().true_op(), Rc::new(|_| MValue::Bool(true)));
-        ops.insert(spec.sig().false_op(), Rc::new(|_| MValue::Bool(false)));
+        ops.insert(spec.sig().true_op(), Arc::new(|_| MValue::Bool(true)));
+        ops.insert(spec.sig().false_op(), Arc::new(|_| MValue::Bool(false)));
         ModelBuilder {
             spec,
             ops,
@@ -156,10 +158,10 @@ impl<'a> ModelBuilder<'a> {
     ///
     /// Unknown names are collected and reported by [`ModelBuilder::build`].
     #[must_use]
-    pub fn op(mut self, name: &str, f: impl Fn(&[MValue]) -> MValue + 'static) -> Self {
+    pub fn op(mut self, name: &str, f: impl Fn(&[MValue]) -> MValue + Send + Sync + 'static) -> Self {
         match self.spec.sig().find_op(name) {
             Some(id) => {
-                self.ops.insert(id, Rc::new(f));
+                self.ops.insert(id, Arc::new(f));
             }
             None => self.missing.push(format!("unknown operation `{name}`")),
         }
@@ -169,10 +171,14 @@ impl<'a> ModelBuilder<'a> {
     /// Registers a value-equality predicate for the sort named `name`
     /// (needed when the sort's values are `Data`).
     #[must_use]
-    pub fn eq(mut self, name: &str, f: impl Fn(&MValue, &MValue) -> bool + 'static) -> Self {
+    pub fn eq(
+        mut self,
+        name: &str,
+        f: impl Fn(&MValue, &MValue) -> bool + Send + Sync + 'static,
+    ) -> Self {
         match self.spec.sig().find_sort(name) {
             Some(id) => {
-                self.eqs.insert(id, Rc::new(f));
+                self.eqs.insert(id, Arc::new(f));
             }
             None => self.missing.push(format!("unknown sort `{name}`")),
         }

@@ -2,7 +2,7 @@
 
 use std::any::Any;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A value produced by an implementation model.
 ///
@@ -10,7 +10,8 @@ use std::rc::Rc;
 /// (booleans, and the small scalar types typically used to instantiate
 /// parameter sorts such as `Identifier` or `AttributeList`); `Data` holds
 /// an implementation-specific structure (a linked stack, a hash array, a
-/// ring buffer, …) behind `Rc<dyn Any>`.
+/// ring buffer, …) behind `Arc<dyn Any + Send + Sync>` — `Arc` rather
+/// than `Rc` so values can cross the parallel checker's worker threads.
 ///
 /// `Error` is the paper's distinguished error value; [`Model::apply`]
 /// propagates it strictly before an implementation closure ever runs.
@@ -27,13 +28,13 @@ pub enum MValue {
     /// The distinguished error value.
     Error,
     /// An implementation-specific structure.
-    Data(Rc<dyn Any>),
+    Data(Arc<dyn Any + Send + Sync>),
 }
 
 impl MValue {
     /// Wraps an implementation structure.
-    pub fn data<T: 'static>(value: T) -> Self {
-        MValue::Data(Rc::new(value))
+    pub fn data<T: Send + Sync + 'static>(value: T) -> Self {
+        MValue::Data(Arc::new(value))
     }
 
     /// Downcasts a `Data` value to a concrete type.

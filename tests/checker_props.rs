@@ -3,10 +3,14 @@
 //! checker must agree; delete any one axiom and it must flag exactly the
 //! affected operation; inject a contradiction and the consistency checker
 //! must catch it.
+//!
+//! Spec shapes and seeds are drawn from a seeded [`DetRng`] (48 cases per
+//! property), so every run exercises the same specifications.
 
 use adt_check::{check_completeness, check_consistency, Coverage};
-use adt_core::{Spec, SpecBuilder, Term};
-use proptest::prelude::*;
+use adt_core::{DetRng, Spec, SpecBuilder, Term};
+
+const CASES: usize = 48;
 
 /// Builds a synthetic specification: one sort with `ctors` constructors
 /// (the first nullary, the rest unary-recursive) and `obs` boolean
@@ -60,61 +64,61 @@ fn synthetic_without(ctors: usize, obs: usize, seed: u64, drop: usize) -> Spec {
     .unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Complete-by-construction specs pass; they are also consistent
-    /// (orthogonal constructor cases cannot contradict).
-    #[test]
-    fn complete_specs_pass_both_checkers(
-        ctors in 1usize..5,
-        obs in 1usize..5,
-        seed in any::<u64>(),
-    ) {
+/// Complete-by-construction specs pass; they are also consistent
+/// (orthogonal constructor cases cannot contradict).
+#[test]
+fn complete_specs_pass_both_checkers() {
+    let mut rng = DetRng::new(0xC4EC_0001);
+    for _ in 0..CASES {
+        let ctors = 1 + rng.below(4);
+        let obs = 1 + rng.below(4);
+        let seed = rng.next_u64();
         let (spec, _) = synthetic(ctors, obs, seed);
         let report = check_completeness(&spec);
-        prop_assert!(report.is_sufficiently_complete(), "{}", report.prompts());
-        prop_assert!(check_consistency(&spec).is_consistent());
+        assert!(report.is_sufficiently_complete(), "{}", report.prompts());
+        assert!(check_consistency(&spec).is_consistent());
     }
+}
 
-    /// Deleting any single axiom breaks completeness for exactly the
-    /// observer that lost a case, and no other.
-    #[test]
-    fn deleting_one_axiom_is_localized(
-        ctors in 1usize..5,
-        obs in 1usize..5,
-        seed in any::<u64>(),
-        pick in any::<prop::sample::Index>(),
-    ) {
+/// Deleting any single axiom breaks completeness for exactly the
+/// observer that lost a case, and no other.
+#[test]
+fn deleting_one_axiom_is_localized() {
+    let mut rng = DetRng::new(0xC4EC_0002);
+    for _ in 0..CASES {
+        let ctors = 1 + rng.below(4);
+        let obs = 1 + rng.below(4);
+        let seed = rng.next_u64();
         let (full, layout) = synthetic(ctors, obs, seed);
-        let drop = pick.index(full.axioms().len());
+        let drop = rng.below(full.axioms().len());
         let (dropped_obs, _) = layout[drop];
         let spec = synthetic_without(ctors, obs, seed, drop);
         let report = check_completeness(&spec);
-        prop_assert!(!report.is_sufficiently_complete());
+        assert!(!report.is_sufficiently_complete());
         for cov in report.coverage() {
             let is_dropped = cov.op_name() == format!("OBS{dropped_obs}?");
             match cov.coverage() {
                 Coverage::Missing(cases) => {
-                    prop_assert!(is_dropped, "wrong op flagged: {}", cov.op_name());
-                    prop_assert_eq!(cases.len(), 1);
+                    assert!(is_dropped, "wrong op flagged: {}", cov.op_name());
+                    assert_eq!(cases.len(), 1);
                 }
-                Coverage::Complete => prop_assert!(!is_dropped),
+                Coverage::Complete => assert!(!is_dropped),
             }
         }
     }
+}
 
-    /// Adding a contradicting duplicate of an existing axiom (same left
-    /// side, flipped right side) is caught by the consistency checker.
-    #[test]
-    fn injected_contradictions_are_caught(
-        ctors in 1usize..4,
-        obs in 1usize..4,
-        seed in any::<u64>(),
-        pick in any::<prop::sample::Index>(),
-    ) {
+/// Adding a contradicting duplicate of an existing axiom (same left
+/// side, flipped right side) is caught by the consistency checker.
+#[test]
+fn injected_contradictions_are_caught() {
+    let mut rng = DetRng::new(0xC4EC_0003);
+    for _ in 0..CASES {
+        let ctors = 1 + rng.below(3);
+        let obs = 1 + rng.below(3);
+        let seed = rng.next_u64();
         let (full, _) = synthetic(ctors, obs, seed);
-        let victim = pick.index(full.axioms().len());
+        let victim = rng.below(full.axioms().len());
         let ax = full.axioms()[victim].clone();
         let flipped = if ax.rhs() == &full.sig().tt() {
             full.sig().ff()
@@ -122,7 +126,11 @@ proptest! {
             full.sig().tt()
         };
         let mut axioms = full.axioms().to_vec();
-        axioms.push(adt_core::Axiom::new("contradiction", ax.lhs().clone(), flipped));
+        axioms.push(adt_core::Axiom::new(
+            "contradiction",
+            ax.lhs().clone(),
+            flipped,
+        ));
         let spec = Spec::from_parts(
             full.name().to_owned(),
             full.sig().clone(),
@@ -132,6 +140,6 @@ proptest! {
         )
         .unwrap();
         let report = check_consistency(&spec);
-        prop_assert!(!report.is_consistent(), "{}", report.summary());
+        assert!(!report.is_consistent(), "{}", report.summary());
     }
 }

@@ -1,11 +1,14 @@
 //! Property-based tests for the specification language: arbitrary
 //! well-sorted terms and arbitrary signatures survive the print → parse
 //! round trip exactly.
+//!
+//! Terms and signatures are drawn from a seeded [`DetRng`] (96 cases per
+//! property), so every run exercises the same inputs.
 
-use proptest::prelude::*;
-
-use adt_core::{display, Spec, SpecBuilder, Term};
+use adt_core::{display, DetRng, Spec, SpecBuilder, Term};
 use adt_dsl::{parse, parse_term, print_spec, semantically_equal};
+
+const CASES: usize = 96;
 
 /// A rich fixed signature for term round-trips: queue ops, items, a
 /// boolean observer, and declared variables.
@@ -28,9 +31,9 @@ fn term_playground() -> Spec {
     b.build().unwrap()
 }
 
-/// Strategy for well-sorted Queue-sorted terms of bounded depth.
-fn arb_queue_term(spec: &Spec, depth: u32) -> BoxedStrategy<Term> {
-    let sig = spec.sig().clone();
+/// Draws a well-sorted Queue-sorted term of bounded depth.
+fn rand_queue_term(spec: &Spec, depth: u32, rng: &mut DetRng) -> Term {
+    let sig = spec.sig();
     let new = sig.find_op("NEW").unwrap();
     let add = sig.find_op("ADD").unwrap();
     let remove = sig.find_op("REMOVE").unwrap();
@@ -38,110 +41,111 @@ fn arb_queue_term(spec: &Spec, depth: u32) -> BoxedStrategy<Term> {
     let q1 = sig.find_var("q1").unwrap();
     let queue = sig.find_sort("Queue").unwrap();
 
-    let leaf = prop_oneof![
-        Just(Term::constant(new)),
-        Just(Term::Var(q)),
-        Just(Term::Var(q1)),
-        Just(Term::Error(queue)),
-    ];
+    let leaf = |rng: &mut DetRng| match rng.below(4) {
+        0 => Term::constant(new),
+        1 => Term::Var(q),
+        2 => Term::Var(q1),
+        _ => Term::Error(queue),
+    };
     if depth == 0 {
-        return leaf.boxed();
+        return leaf(rng);
     }
-    let spec2 = spec.clone();
-    let spec3 = spec.clone();
-    let spec4 = spec.clone();
-    prop_oneof![
-        leaf,
-        (
-            arb_queue_term(&spec2, depth - 1),
-            arb_item_term(&spec2, depth - 1)
-        )
-            .prop_map(move |(qt, it)| Term::App(add, vec![qt, it])),
-        arb_queue_term(&spec3, depth - 1).prop_map(move |qt| Term::App(remove, vec![qt])),
-        (
-            arb_bool_term(&spec4, depth - 1),
-            arb_queue_term(&spec4, depth - 1),
-            arb_queue_term(&spec4, depth - 1)
-        )
-            .prop_map(|(c, t, e)| Term::ite(c, t, e)),
-    ]
-    .boxed()
+    match rng.below(4) {
+        0 => leaf(rng),
+        1 => {
+            let qt = rand_queue_term(spec, depth - 1, rng);
+            let it = rand_item_term(spec, depth - 1, rng);
+            Term::App(add, vec![qt, it])
+        }
+        2 => Term::App(remove, vec![rand_queue_term(spec, depth - 1, rng)]),
+        _ => {
+            let c = rand_bool_term(spec, depth - 1, rng);
+            let t = rand_queue_term(spec, depth - 1, rng);
+            let e = rand_queue_term(spec, depth - 1, rng);
+            Term::ite(c, t, e)
+        }
+    }
 }
 
-/// Strategy for well-sorted Item-sorted terms.
-fn arb_item_term(spec: &Spec, depth: u32) -> BoxedStrategy<Term> {
-    let sig = spec.sig().clone();
+/// Draws a well-sorted Item-sorted term.
+fn rand_item_term(spec: &Spec, depth: u32, rng: &mut DetRng) -> Term {
+    let sig = spec.sig();
     let a = sig.find_op("A").unwrap();
     let b_ = sig.find_op("B").unwrap();
     let front = sig.find_op("FRONT").unwrap();
     let i = sig.find_var("i").unwrap();
     let i1 = sig.find_var("i1").unwrap();
     let item = sig.find_sort("Item").unwrap();
-    let leaf = prop_oneof![
-        Just(Term::constant(a)),
-        Just(Term::constant(b_)),
-        Just(Term::Var(i)),
-        Just(Term::Var(i1)),
-        Just(Term::Error(item)),
-    ];
+    let leaf = |rng: &mut DetRng| match rng.below(5) {
+        0 => Term::constant(a),
+        1 => Term::constant(b_),
+        2 => Term::Var(i),
+        3 => Term::Var(i1),
+        _ => Term::Error(item),
+    };
     if depth == 0 {
-        return leaf.boxed();
+        return leaf(rng);
     }
-    let spec2 = spec.clone();
-    prop_oneof![
-        leaf,
-        arb_queue_term(&spec2, depth - 1).prop_map(move |qt| Term::App(front, vec![qt])),
-    ]
-    .boxed()
+    if rng.flip() {
+        leaf(rng)
+    } else {
+        Term::App(front, vec![rand_queue_term(spec, depth - 1, rng)])
+    }
 }
 
-/// Strategy for well-sorted Bool-sorted terms.
-fn arb_bool_term(spec: &Spec, depth: u32) -> BoxedStrategy<Term> {
-    let sig = spec.sig().clone();
+/// Draws a well-sorted Bool-sorted term.
+fn rand_bool_term(spec: &Spec, depth: u32, rng: &mut DetRng) -> Term {
+    let sig = spec.sig();
     let is_empty = sig.find_op("IS_EMPTY?").unwrap();
     let flag = sig.find_var("flag").unwrap();
-    let leaf = prop_oneof![Just(sig.tt()), Just(sig.ff()), Just(Term::Var(flag)),];
+    let leaf = |rng: &mut DetRng| match rng.below(3) {
+        0 => sig.tt(),
+        1 => sig.ff(),
+        _ => Term::Var(flag),
+    };
     if depth == 0 {
-        return leaf.boxed();
+        return leaf(rng);
     }
-    let spec2 = spec.clone();
-    prop_oneof![
-        leaf,
-        arb_queue_term(&spec2, depth - 1).prop_map(move |qt| Term::App(is_empty, vec![qt])),
-    ]
-    .boxed()
+    if rng.flip() {
+        leaf(rng)
+    } else {
+        Term::App(is_empty, vec![rand_queue_term(spec, depth - 1, rng)])
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
-
-    /// print(term) reparses to exactly the same term. The one genuinely
-    /// ambiguous shape — a conditional whose branches are *both* `error`
-    /// all the way down, which no context-free reading can sort — is
-    /// excluded by assumption.
-    #[test]
-    fn term_print_parse_round_trip(t in arb_queue_term(&term_playground(), 4)) {
-        let spec = term_playground();
+/// print(term) reparses to exactly the same term. The one genuinely
+/// ambiguous shape — a conditional whose branches are *both* `error`
+/// all the way down, which no context-free reading can sort — is
+/// excluded by assumption.
+#[test]
+fn term_print_parse_round_trip() {
+    let spec = term_playground();
+    let mut rng = DetRng::new(0xD51_0001);
+    for _ in 0..CASES {
+        let t = rand_queue_term(&spec, 4, &mut rng);
         let rendered = display::term(spec.sig(), &t).to_string();
         match parse_term(&spec, &rendered) {
-            Ok(reparsed) => prop_assert_eq!(reparsed, t, "source: {}", rendered),
+            Ok(reparsed) => assert_eq!(reparsed, t, "source: {rendered}"),
             Err(e) if e.to_string().contains("cannot determine the sort") => {
                 // Both-branches-error conditionals are unparseable without
                 // context by design; everything else must round-trip.
-                prop_assume!(false);
+                continue;
             }
-            Err(e) => return Err(TestCaseError::fail(format!("{rendered}: {e}"))),
+            Err(e) => panic!("{rendered}: {e}"),
         }
     }
+}
 
-    /// Arbitrary signatures (sorts, constructors, operations of random
-    /// arities) survive print_spec → parse.
-    #[test]
-    fn signature_print_parse_round_trip(
-        toi_count in 1usize..4,
-        param_count in 0usize..3,
-        op_seed in any::<u64>(),
-    ) {
+/// Arbitrary signatures (sorts, constructors, operations of random
+/// arities) survive print_spec → parse.
+#[test]
+fn signature_print_parse_round_trip() {
+    let mut rng = DetRng::new(0xD51_0002);
+    for _ in 0..CASES {
+        let toi_count = 1 + rng.below(3);
+        let param_count = rng.below(3);
+        let op_seed = rng.next_u64();
+
         let mut b = SpecBuilder::new("Gen");
         let mut tois = Vec::new();
         for k in 0..toi_count {
@@ -179,8 +183,10 @@ proptest! {
         }
         let spec = b.build().expect("generated signatures are valid");
         let printed = print_spec(&spec);
-        let reparsed = parse(&printed)
-            .map_err(|e| TestCaseError::fail(format!("{printed}\n{}", e.render(&printed))))?;
-        prop_assert!(semantically_equal(&spec, &reparsed), "printed:\n{printed}");
+        let reparsed = match parse(&printed) {
+            Ok(s) => s,
+            Err(e) => panic!("{printed}\n{}", e.render(&printed)),
+        };
+        assert!(semantically_equal(&spec, &reparsed), "printed:\n{printed}");
     }
 }

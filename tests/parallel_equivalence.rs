@@ -1,0 +1,74 @@
+//! Parallel/sequential equivalence: for every specification shipped in
+//! `specs/`, the work-pool checkers must produce *byte-identical* reports
+//! to the sequential ones at every job count. Parallelism is an
+//! implementation detail of the engine; any observable difference is a
+//! merge-order bug.
+
+use adt_check::{check_completeness_jobs, check_consistency_jobs, ProbeConfig};
+use adt_structures::sources;
+use adt_verify::{differential_spec_check, DifferentialConfig};
+
+#[test]
+fn completeness_reports_are_identical_across_job_counts() {
+    for (name, source) in sources::all() {
+        let spec = adt_dsl::parse(source).unwrap_or_else(|e| panic!("{name}: {}", e.render(source)));
+        let seq = check_completeness_jobs(&spec, 1);
+        for jobs in [2, 4, 8] {
+            let par = check_completeness_jobs(&spec, jobs);
+            assert_eq!(
+                seq.is_sufficiently_complete(),
+                par.is_sufficiently_complete(),
+                "{name} at {jobs} jobs"
+            );
+            assert_eq!(seq.coverage(), par.coverage(), "{name} at {jobs} jobs");
+            assert_eq!(seq.prompts(), par.prompts(), "{name} at {jobs} jobs");
+            assert_eq!(
+                seq.missing_case_count(),
+                par.missing_case_count(),
+                "{name} at {jobs} jobs"
+            );
+        }
+    }
+}
+
+#[test]
+fn consistency_reports_are_identical_across_job_counts() {
+    let probe = ProbeConfig::default();
+    for (name, source) in sources::all() {
+        let spec = adt_dsl::parse(source).unwrap_or_else(|e| panic!("{name}: {}", e.render(source)));
+        let seq = check_consistency_jobs(&spec, &probe, 1);
+        for jobs in [2, 4, 8] {
+            let par = check_consistency_jobs(&spec, &probe, jobs);
+            assert_eq!(seq.is_consistent(), par.is_consistent(), "{name} at {jobs} jobs");
+            assert_eq!(
+                seq.contradictions(),
+                par.contradictions(),
+                "{name} at {jobs} jobs"
+            );
+            assert_eq!(seq.summary(), par.summary(), "{name} at {jobs} jobs");
+            assert_eq!(seq.pairs_checked(), par.pairs_checked(), "{name} at {jobs} jobs");
+            assert_eq!(seq.probes_run(), par.probes_run(), "{name} at {jobs} jobs");
+        }
+    }
+}
+
+#[test]
+fn the_differential_harness_agrees_on_every_shipped_spec() {
+    // Same property, driven through the adt-verify harness — the
+    // workspace-level exercise of the tentpole oracle.
+    let cfg = DifferentialConfig::default();
+    for (name, source) in sources::all() {
+        let spec = adt_dsl::parse(source).unwrap_or_else(|e| panic!("{name}: {}", e.render(source)));
+        let report = differential_spec_check(&spec, &cfg);
+        assert!(report.passed(), "{name}:\n{}", report.render());
+    }
+}
+
+#[test]
+fn zero_jobs_means_all_cores_and_still_matches() {
+    let spec = sources::load("queue").unwrap();
+    let seq = check_completeness_jobs(&spec, 1);
+    let auto = check_completeness_jobs(&spec, 0);
+    assert_eq!(seq.coverage(), auto.coverage());
+    assert_eq!(seq.prompts(), auto.prompts());
+}

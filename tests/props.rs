@@ -1,15 +1,18 @@
-//! Property-based tests (proptest) on the core invariants: the rewrite
-//! system is deterministic and idempotent; substitution composes; the
-//! concrete implementations track reference models under arbitrary
-//! operation sequences; Φ identifies exactly the observationally equal
-//! ring states.
+//! Property-based tests on the core invariants: the rewrite system is
+//! deterministic and idempotent; substitution composes; the concrete
+//! implementations track reference models under arbitrary operation
+//! sequences; Φ identifies exactly the observationally equal ring states.
+//!
+//! Random programs are drawn from a seeded [`DetRng`] (128 cases per
+//! property), so every run exercises the same inputs and failures
+//! reproduce deterministically.
 
-use proptest::prelude::*;
-
-use adt_core::{Subst, Term};
+use adt_core::{DetRng, Subst, Term};
 use adt_rewrite::Rewriter;
 use adt_structures::specs::queue_spec;
 use adt_structures::{AttrList, Fifo, Ident, LinkedStack, RingQueue, SymbolTable};
+
+const CASES: usize = 128;
 
 /// An abstract queue-building operation for random programs.
 #[derive(Debug, Clone)]
@@ -18,11 +21,19 @@ enum QOp {
     Remove,
 }
 
-fn qops() -> impl Strategy<Value = Vec<QOp>> {
-    prop::collection::vec(
-        prop_oneof![(0u8..3).prop_map(QOp::Add), Just(QOp::Remove),],
-        0..40,
-    )
+/// Draws a random queue program of up to 40 operations (ADD and REMOVE
+/// equally likely).
+fn qops(rng: &mut DetRng) -> Vec<QOp> {
+    let len = rng.below(40);
+    (0..len)
+        .map(|_| {
+            if rng.flip() {
+                QOp::Add(rng.below(3) as u8)
+            } else {
+                QOp::Remove
+            }
+        })
+        .collect()
 }
 
 /// Builds the ground Queue term corresponding to a program, mirroring it
@@ -59,32 +70,36 @@ fn queue_term(spec: &adt_core::Spec, ops: &[QOp]) -> (Term, Vec<u8>) {
     (term, model)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    /// Normal forms are fixpoints: nf(nf(t)) = nf(t).
-    #[test]
-    fn normalization_is_idempotent(ops in qops()) {
-        let spec = queue_spec();
-        let rw = Rewriter::new(&spec);
+/// Normal forms are fixpoints: nf(nf(t)) = nf(t).
+#[test]
+fn normalization_is_idempotent() {
+    let spec = queue_spec();
+    let rw = Rewriter::new(&spec);
+    let mut rng = DetRng::new(0x1D01);
+    for _ in 0..CASES {
+        let ops = qops(&mut rng);
         let (term, _) = queue_term(&spec, &ops);
         let nf = rw.normalize(&term).unwrap();
-        prop_assert_eq!(rw.normalize(&nf).unwrap(), nf);
+        assert_eq!(rw.normalize(&nf).unwrap(), nf);
     }
+}
 
-    /// The rewrite system agrees with a Vec reference model of FIFO
-    /// semantics (with error as an absorbing state).
-    #[test]
-    fn queue_axioms_agree_with_a_reference_model(ops in qops()) {
-        let spec = queue_spec();
-        let sig = spec.sig();
-        let rw = Rewriter::new(&spec);
+/// The rewrite system agrees with a Vec reference model of FIFO
+/// semantics (with error as an absorbing state).
+#[test]
+fn queue_axioms_agree_with_a_reference_model() {
+    let spec = queue_spec();
+    let sig = spec.sig();
+    let rw = Rewriter::new(&spec);
+    let mut rng = DetRng::new(0x1D02);
+    for _ in 0..CASES {
+        let ops = qops(&mut rng);
         let (term, model) = queue_term(&spec, &ops);
         let nf = rw.normalize(&term).unwrap();
         if nf.is_error() {
             // The model detected an underflow somewhere — nothing more to
             // compare (error has swallowed the queue).
-            return Ok(());
+            continue;
         }
         // Rebuild the model's expected ADD chain and compare.
         let items = ["A", "B", "C"];
@@ -93,12 +108,16 @@ proptest! {
             let item = sig.apply(items[*i as usize], vec![]).unwrap();
             expected = sig.apply("ADD", vec![expected, item]).unwrap();
         }
-        prop_assert_eq!(nf, expected);
+        assert_eq!(nf, expected);
     }
+}
 
-    /// The Fifo implementation agrees with the same reference model.
-    #[test]
-    fn fifo_agrees_with_the_reference_model(ops in qops()) {
+/// The Fifo implementation agrees with the same reference model.
+#[test]
+fn fifo_agrees_with_the_reference_model() {
+    let mut rng = DetRng::new(0x1D03);
+    for _ in 0..CASES {
+        let ops = qops(&mut rng);
         let mut q: Fifo<u8> = Fifo::new();
         let mut model: Vec<u8> = Vec::new();
         for op in &ops {
@@ -108,21 +127,33 @@ proptest! {
                     model.push(*i);
                 }
                 QOp::Remove => {
-                    prop_assert_eq!(q.remove(), if model.is_empty() { None } else { Some(model.remove(0)) });
+                    assert_eq!(
+                        q.remove(),
+                        if model.is_empty() {
+                            None
+                        } else {
+                            Some(model.remove(0))
+                        }
+                    );
                 }
             }
-            prop_assert_eq!(q.len(), model.len());
-            prop_assert_eq!(q.front().copied(), model.first().copied());
+            assert_eq!(q.len(), model.len());
+            assert_eq!(q.front().copied(), model.first().copied());
         }
         let contents: Vec<u8> = q.iter().copied().collect();
-        prop_assert_eq!(contents, model);
+        assert_eq!(contents, model);
     }
+}
 
-    /// Substitution composition law: (σ ∘ τ)(t) = τ(σ(t)).
-    #[test]
-    fn substitution_composes(ops in qops(), pick in 0usize..3) {
-        let spec = queue_spec();
-        let sig = spec.sig();
+/// Substitution composition law: (σ ∘ τ)(t) = τ(σ(t)).
+#[test]
+fn substitution_composes() {
+    let spec = queue_spec();
+    let sig = spec.sig();
+    let mut rng = DetRng::new(0x1D04);
+    for _ in 0..CASES {
+        let ops = qops(&mut rng);
+        let pick = rng.below(3);
         // queue_spec has vars q and i; σ maps q to an open term, τ grounds it.
         let q = sig.find_var("q").unwrap();
         let (ground, _) = queue_term(&spec, &ops);
@@ -135,56 +166,71 @@ proptest! {
             1 => open,
             _ => sig.apply("IS_EMPTY?", vec![Term::Var(q)]).unwrap(),
         };
-        prop_assert_eq!(composed.apply(&t), tau.apply(&sigma.apply(&t)));
+        assert_eq!(composed.apply(&t), tau.apply(&sigma.apply(&t)));
     }
+}
 
-    /// The ring buffer's Φ-image matches a bounded reference model, and
-    /// two different ways of reaching the same abstract state are
-    /// Φ-equal.
-    #[test]
-    fn ring_phi_matches_bounded_model(ops in qops()) {
+/// The ring buffer's Φ-image matches a bounded reference model, and two
+/// different ways of reaching the same abstract state are Φ-equal.
+#[test]
+fn ring_phi_matches_bounded_model() {
+    let mut rng = DetRng::new(0x1D05);
+    for _ in 0..CASES {
+        let ops = qops(&mut rng);
         let mut ring: RingQueue<u8> = RingQueue::new(3);
         let mut model: Vec<u8> = Vec::new();
         for op in &ops {
             match op {
                 QOp::Add(i) => {
                     let ok = ring.add(*i).is_ok();
-                    prop_assert_eq!(ok, model.len() < 3);
+                    assert_eq!(ok, model.len() < 3);
                     if ok {
                         model.push(*i);
                     }
                 }
                 QOp::Remove => {
                     let got = ring.remove();
-                    let expected = if model.is_empty() { None } else { Some(model.remove(0)) };
-                    prop_assert_eq!(got, expected);
+                    let expected = if model.is_empty() {
+                        None
+                    } else {
+                        Some(model.remove(0))
+                    };
+                    assert_eq!(got, expected);
                 }
             }
             let live: Vec<u8> = ring.abstract_value().into_iter().copied().collect();
-            prop_assert_eq!(&live, &model);
+            assert_eq!(&live, &model);
         }
     }
+}
 
-    /// LinkedStack push/pop round-trips arbitrary sequences.
-    #[test]
-    fn linked_stack_round_trips(values in prop::collection::vec(any::<u16>(), 0..64)) {
+/// LinkedStack push/pop round-trips arbitrary sequences.
+#[test]
+fn linked_stack_round_trips() {
+    let mut rng = DetRng::new(0x1D06);
+    for _ in 0..CASES {
+        let values: Vec<u16> = (0..rng.below(64)).map(|_| rng.next_u64() as u16).collect();
         let stack: LinkedStack<u16> = values.iter().copied().collect();
-        prop_assert_eq!(stack.len(), values.len());
+        assert_eq!(stack.len(), values.len());
         let mut walker = stack.clone();
         for v in values.iter().rev() {
-            prop_assert_eq!(walker.top(), Some(v));
+            assert_eq!(walker.top(), Some(v));
             walker = walker.pop().unwrap();
         }
-        prop_assert!(walker.is_new());
+        assert!(walker.is_new());
     }
+}
 
-    /// The symbol table agrees with a reference stack-of-maps under
-    /// arbitrary enter/leave/add/lookup programs.
-    #[test]
-    fn symbol_table_agrees_with_stack_of_maps(
-        script in prop::collection::vec((0u8..4, 0u8..5), 0..60)
-    ) {
-        use std::collections::HashMap;
+/// The symbol table agrees with a reference stack-of-maps under
+/// arbitrary enter/leave/add/lookup programs.
+#[test]
+fn symbol_table_agrees_with_stack_of_maps() {
+    use std::collections::HashMap;
+    let mut rng = DetRng::new(0x1D07);
+    for _ in 0..CASES {
+        let script: Vec<(u8, u8)> = (0..rng.below(60))
+            .map(|_| (rng.below(4) as u8, rng.below(5) as u8))
+            .collect();
         let mut st: SymbolTable = SymbolTable::init();
         let mut reference: Vec<HashMap<String, String>> = vec![HashMap::new()];
         for (op, which) in script {
@@ -202,17 +248,20 @@ proptest! {
                 2 => {
                     let st_res = st.leave_block().is_ok();
                     let ref_res = reference.len() > 1;
-                    prop_assert_eq!(st_res, ref_res);
+                    assert_eq!(st_res, ref_res);
                     if ref_res {
                         reference.pop();
                     }
                 }
                 _ => {
                     let expected = reference.iter().rev().find_map(|m| m.get(&name));
-                    let got = st.retrieve(&Ident::new(&name)).ok().map(|a| a.get("t").unwrap().to_owned());
-                    prop_assert_eq!(got, expected.cloned());
+                    let got = st
+                        .retrieve(&Ident::new(&name))
+                        .ok()
+                        .map(|a| a.get("t").unwrap().to_owned());
+                    assert_eq!(got, expected.cloned());
                     let in_block = reference.last().unwrap().contains_key(&name);
-                    prop_assert_eq!(st.is_in_block(&Ident::new(&name)), in_block);
+                    assert_eq!(st.is_in_block(&Ident::new(&name)), in_block);
                 }
             }
         }
