@@ -16,9 +16,13 @@ use std::collections::HashSet;
 use std::fmt;
 use std::time::Instant;
 
-use adt_core::{display, OpId, Signature, SortId, Spec, Term, VarId};
+use adt_core::{
+    display, EngineError, ExhaustionCause, FuelSpent, OpId, Signature, SortId, Spec, Term, VarId,
+};
 
-use crate::parallel::{run_indexed, CheckStats};
+use crate::config::CheckConfig;
+use crate::fault::ArmedFaults;
+use crate::parallel::{run_isolated, CheckStats, ItemOutcome};
 
 /// A caveat noted while converting an axiom left-hand side to a coverage
 /// pattern. Patterns with caveats are treated conservatively (as covering
@@ -69,6 +73,28 @@ pub enum Coverage {
     /// axioms say nothing about (rendered against
     /// [`CompletenessReport::spec`]).
     Missing(Vec<Term>),
+    /// The analysis ran out of budget before deciding: a *partial*
+    /// verdict, not a failure. Missing cases found before exhaustion are
+    /// definite; `frontier` holds witness terms for case groups the
+    /// analysis never explored (capped; `truncated` counts the rest).
+    Exhausted {
+        /// What was spent before the budget ran out. For case analysis,
+        /// `steps` counts case partitions examined.
+        spent: FuelSpent,
+        /// Definite missing cases found before the budget ran out.
+        missing: Vec<Term>,
+        /// Unexplored case groups, as witness terms (rendered against
+        /// [`CompletenessReport::spec`]).
+        frontier: Vec<Term>,
+        /// Unexplored case groups beyond the reported frontier.
+        truncated: usize,
+    },
+    /// The analysis worker panicked (twice: original run plus one retry
+    /// on a fresh stack); the rest of the report is unaffected.
+    Failed {
+        /// What went wrong.
+        error: EngineError,
+    },
 }
 
 /// Coverage analysis for one derived operation.
@@ -152,15 +178,38 @@ impl CompletenessReport {
         self.coverage.iter().all(OpCoverage::is_complete)
     }
 
-    /// Total number of missing cases across all operations.
+    /// Total number of *definite* missing cases across all operations
+    /// (including those found before an analysis exhausted its budget).
     pub fn missing_case_count(&self) -> usize {
         self.coverage
             .iter()
             .map(|c| match &c.coverage {
                 Coverage::Complete => 0,
                 Coverage::Missing(v) => v.len(),
+                Coverage::Exhausted { missing, .. } => missing.len(),
+                Coverage::Failed { .. } => 0,
             })
             .sum()
+    }
+
+    /// Operations whose analysis did not reach a verdict (budget
+    /// exhausted or worker failed). Empty on a clean run.
+    pub fn undetermined_ops(&self) -> Vec<&OpCoverage> {
+        self.coverage
+            .iter()
+            .filter(|c| {
+                matches!(
+                    c.coverage,
+                    Coverage::Exhausted { .. } | Coverage::Failed { .. }
+                )
+            })
+            .collect()
+    }
+
+    /// Whether some operation has a definitely-missing case (as opposed
+    /// to merely an undetermined analysis).
+    pub fn has_definite_missing(&self) -> bool {
+        self.missing_case_count() > 0
     }
 
     /// Renders the report in the interactive style the paper describes:
@@ -179,6 +228,37 @@ impl CompletenessReport {
                     for case in cases {
                         out.push_str(&format!("  {} = ?\n", display::term(self.spec.sig(), case)));
                     }
+                }
+                Coverage::Exhausted {
+                    spent,
+                    missing,
+                    frontier,
+                    truncated,
+                } => {
+                    out.push_str(&format!(
+                        "operation {}: analysis exhausted ({spent}) — partial verdict:\n",
+                        cov.op_name
+                    ));
+                    for case in missing {
+                        out.push_str(&format!("  {} = ?\n", display::term(self.spec.sig(), case)));
+                    }
+                    for case in frontier {
+                        out.push_str(&format!(
+                            "  {} = ? (unexplored)\n",
+                            display::term(self.spec.sig(), case)
+                        ));
+                    }
+                    if *truncated > 0 {
+                        out.push_str(&format!(
+                            "  … and {truncated} more unexplored case group(s)\n"
+                        ));
+                    }
+                }
+                Coverage::Failed { error } => {
+                    out.push_str(&format!(
+                        "operation {}: analysis failed — {error}\n",
+                        cov.op_name
+                    ));
                 }
             }
             for note in &cov.notes {
@@ -216,13 +296,20 @@ struct OpAnalysis {
     op_name: String,
     notes: Vec<PatternNote>,
     missing_cases: Vec<Vec<Witness>>,
+    /// Case groups the enumeration never explored (budget ran out).
+    frontier_cases: Vec<Vec<Witness>>,
+    /// Unexplored case groups beyond `frontier_cases`' cap.
+    frontier_truncated: usize,
+    /// Case partitions examined before stopping.
+    partitions: usize,
     axiom_count: usize,
     time: std::time::Duration,
 }
 
-/// Builds the pattern matrix for `op` and enumerates its missing cases.
-/// Pure with respect to `spec` — safe to run on any worker thread.
-fn analyze_op(spec: &Spec, op: OpId) -> OpAnalysis {
+/// Builds the pattern matrix for `op` and enumerates its missing cases,
+/// examining at most `case_budget` case partitions. Pure with respect to
+/// `spec` — safe to run on any worker thread.
+fn analyze_op(spec: &Spec, op: OpId, case_budget: usize) -> OpAnalysis {
     let started = Instant::now();
     let info = spec.sig().op(op);
     let op_name = info.name().to_owned();
@@ -252,13 +339,17 @@ fn analyze_op(spec: &Spec, op: OpId) -> OpAnalysis {
     // of the rows; every partition no row subsumes is a missing case.
     let root_case: Vec<Witness> = arg_sorts.iter().map(|&s| Witness::Any(s)).collect();
     let mut missing_cases: Vec<Vec<Witness>> = Vec::new();
-    let mut budget = CASE_BUDGET;
+    let mut frontier_cases: Vec<Vec<Witness>> = Vec::new();
+    let mut frontier_truncated = 0;
+    let mut budget = case_budget;
     enumerate_missing(
         &matrix,
         root_case,
         spec.sig(),
         &mut missing_cases,
         &mut budget,
+        &mut frontier_cases,
+        &mut frontier_truncated,
     );
 
     OpAnalysis {
@@ -266,6 +357,9 @@ fn analyze_op(spec: &Spec, op: OpId) -> OpAnalysis {
         op_name,
         notes,
         missing_cases,
+        frontier_cases,
+        frontier_truncated,
+        partitions: case_budget - budget,
         axiom_count,
         time: started.elapsed(),
     }
@@ -295,8 +389,37 @@ pub fn check_completeness(spec: &Spec) -> CompletenessReport {
 /// sequential one, byte for byte, at any job count; only
 /// [`CompletenessReport::stats`] timings differ.
 pub fn check_completeness_jobs(spec: &Spec, jobs: usize) -> CompletenessReport {
+    check_completeness_with_config(spec, &CheckConfig::jobs(jobs))
+}
+
+/// [`check_completeness`] under an explicit [`CheckConfig`]: worker
+/// count, fuel budget (a cap on case partitions examined per operation),
+/// and an optional fault-injection plan.
+///
+/// Robustness contract: a panicking analysis worker surfaces as
+/// [`Coverage::Failed`] for its operation only, an exhausted budget as
+/// [`Coverage::Exhausted`] — neither can take down the run or disturb
+/// any other operation's verdict.
+pub fn check_completeness_with_config(spec: &Spec, config: &CheckConfig) -> CompletenessReport {
     let derived: Vec<OpId> = spec.derived_ops().collect();
-    let run = run_indexed(jobs, &derived, |_, &op| analyze_op(spec, op));
+    let armed = match &config.faults {
+        Some(faults) => faults.arm("completeness", derived.len()),
+        None => ArmedFaults::none(),
+    };
+    // The fuel's step budget caps case partitions, never above the
+    // built-in safety valve. An exhaust-fault sabotages the item with a
+    // budget too small for any real analysis.
+    let case_budget = usize::try_from(config.fuel.steps.min(CASE_BUDGET as u64)).unwrap_or(usize::MAX);
+    let run = run_isolated(
+        config.jobs,
+        &derived,
+        |idx, &op| {
+            armed.on_item(idx);
+            let budget = if armed.exhausts(idx) { 1 } else { case_budget };
+            analyze_op(spec, op, budget)
+        },
+        |_, &op| format!("operation `{}`", spec.sig().op(op).name()),
+    );
 
     let mut stats = CheckStats::default();
     stats.absorb(&run.busy, run.elapsed, derived.len());
@@ -304,28 +427,59 @@ pub fn check_completeness_jobs(spec: &Spec, jobs: usize) -> CompletenessReport {
     let mut sig = spec.sig().clone();
     let mut witness_vars: Vec<(SortId, Vec<VarId>)> = Vec::new();
     let mut coverage = Vec::new();
-    for analysis in run.results {
+    for (idx, outcome) in run.results.into_iter().enumerate() {
+        let analysis = match outcome {
+            ItemOutcome::Done(a) => a,
+            ItemOutcome::Failed(failure) => {
+                let op = derived[idx];
+                coverage.push(OpCoverage {
+                    op,
+                    op_name: spec.sig().op(op).name().to_owned(),
+                    coverage: Coverage::Failed {
+                        error: failure.error,
+                    },
+                    notes: Vec::new(),
+                    axiom_count: spec.axioms_for(op).count(),
+                });
+                continue;
+            }
+        };
         stats
             .op_times
             .push((analysis.op_name.clone(), analysis.time));
-        let missing: Vec<Term> = analysis
-            .missing_cases
-            .iter()
-            .map(|case| {
-                let terms: Vec<Term> = {
-                    let mut counters = std::collections::HashMap::new();
-                    case.iter()
-                        .map(|w| materialize_inner(w, &mut sig, &mut witness_vars, &mut counters))
-                        .collect()
-                };
-                Term::App(analysis.op, terms)
-            })
-            .collect();
+        let mut materialize_cases = |cases: &[Vec<Witness>], sig: &mut Signature| -> Vec<Term> {
+            cases
+                .iter()
+                .map(|case| {
+                    let terms: Vec<Term> = {
+                        let mut counters = std::collections::HashMap::new();
+                        case.iter()
+                            .map(|w| materialize_inner(w, sig, &mut witness_vars, &mut counters))
+                            .collect()
+                    };
+                    Term::App(analysis.op, terms)
+                })
+                .collect()
+        };
+        let missing: Vec<Term> = materialize_cases(&analysis.missing_cases, &mut sig);
+        let frontier: Vec<Term> = materialize_cases(&analysis.frontier_cases, &mut sig);
 
+        let exhausted = !frontier.is_empty() || analysis.frontier_truncated > 0;
         coverage.push(OpCoverage {
             op: analysis.op,
             op_name: analysis.op_name,
-            coverage: if missing.is_empty() {
+            coverage: if exhausted {
+                Coverage::Exhausted {
+                    spent: FuelSpent {
+                        steps: analysis.partitions as u64,
+                        depth: 0,
+                        cause: ExhaustionCause::Steps,
+                    },
+                    missing,
+                    frontier,
+                    truncated: analysis.frontier_truncated,
+                }
+            } else if missing.is_empty() {
                 Coverage::Complete
             } else {
                 Coverage::Missing(missing)
@@ -406,16 +560,31 @@ const CASE_BUDGET: usize = 10_000;
 /// Maximum number of missing cases reported per operation.
 const MAX_WITNESSES: usize = 64;
 
+/// Maximum number of unexplored case groups reported per operation when
+/// the budget runs out (the rest are counted, not materialized).
+const MAX_FRONTIER: usize = 8;
+
 /// Recursively partitions `case` along the constructor patterns of the
-/// rows, collecting every partition no row subsumes.
+/// rows, collecting every partition no row subsumes. A case abandoned
+/// because the budget (or the witness cap) ran out is recorded on the
+/// `frontier` instead of being dropped silently, so exhaustion is
+/// visible in the report.
+#[allow(clippy::too_many_arguments)]
 fn enumerate_missing(
     rows: &[Vec<Pat>],
     case: Vec<Witness>,
     sig: &Signature,
     out: &mut Vec<Vec<Witness>>,
     budget: &mut usize,
+    frontier: &mut Vec<Vec<Witness>>,
+    truncated: &mut usize,
 ) {
     if out.len() >= MAX_WITNESSES || *budget == 0 {
+        if frontier.len() < MAX_FRONTIER {
+            frontier.push(case);
+        } else {
+            *truncated += 1;
+        }
         return;
     }
     *budget -= 1;
@@ -458,7 +627,7 @@ fn enumerate_missing(
             .collect();
         let mut split_case = case.clone();
         split_case[idx] = set_at(&case[idx], &path, Witness::Ctor(ctor, args));
-        enumerate_missing(rows, split_case, sig, out, budget);
+        enumerate_missing(rows, split_case, sig, out, budget, frontier, truncated);
     }
 }
 

@@ -1,0 +1,56 @@
+//! Shared configuration for the checking entry points.
+
+use adt_core::Fuel;
+
+use crate::fault::FaultSpec;
+
+/// Configuration shared by both checks: worker count, resource budget,
+/// and (for testing the engine itself) a fault-injection plan.
+///
+/// The default — one job, default fuel, no faults — reproduces the
+/// historical sequential behaviour byte for byte.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckConfig {
+    /// Worker threads (`0` = every available core).
+    pub jobs: usize,
+    /// Resource budget applied to each work item (per normalization for
+    /// consistency probes; as a case-partition budget for completeness
+    /// analysis).
+    pub fuel: Fuel,
+    /// Faults to inject, if any. Only test harnesses set this.
+    pub faults: Option<FaultSpec>,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            jobs: 1,
+            fuel: Fuel::default(),
+            faults: None,
+        }
+    }
+}
+
+impl CheckConfig {
+    /// A configuration with `jobs` workers and defaults otherwise.
+    pub fn jobs(jobs: usize) -> Self {
+        CheckConfig {
+            jobs,
+            ..CheckConfig::default()
+        }
+    }
+
+    /// Replaces the resource budget.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: Fuel) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Installs a fault-injection plan.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+}

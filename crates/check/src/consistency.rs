@@ -17,10 +17,15 @@
 
 use std::collections::HashSet;
 
-use adt_core::{display, match_pattern, DetRng, OpId, Signature, SortId, Spec, Term};
-use adt_rewrite::{classify_superposition, superpositions, PairStatus, Rewriter};
+use adt_core::{
+    display, match_pattern, DetRng, EngineError, Fuel, FuelSpent, OpId, Signature, SortId, Spec,
+    Term,
+};
+use adt_rewrite::{classify_superposition, superpositions, PairStatus, RewriteError, Rewriter};
 
-use crate::parallel::{run_indexed, CheckStats};
+use crate::config::CheckConfig;
+use crate::fault::ArmedFaults;
+use crate::parallel::{run_isolated, CheckFailure, CheckStats, ItemOutcome};
 
 /// Evidence of an inconsistency: one term, two distinguishable values.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -43,10 +48,23 @@ pub enum ConsistencyVerdict {
     Consistent,
     /// A contradiction was exhibited.
     Inconsistent,
+    /// No contradiction was found, but some probes ran out of fuel before
+    /// reaching a normal form: the analyses terminated with a *partial*
+    /// verdict instead of hanging on a (possibly divergent) axiom set.
+    Exhausted,
     /// No contradiction was found, but some critical pairs neither joined
     /// nor produced distinguishable values (e.g. symbolic divergence), so
     /// consistency could not be confirmed.
     Unknown,
+}
+
+/// A ground probe whose normalization ran out of fuel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExhaustedProbe {
+    /// The probed term.
+    pub term: Term,
+    /// The fuel receipt from the first exhausted normalization.
+    pub spent: FuelSpent,
 }
 
 /// Configuration of the randomized ground probe.
@@ -78,6 +96,13 @@ pub struct ConsistencyReport {
     unresolved_pairs: usize,
     pairs_checked: usize,
     probes_run: usize,
+    exhausted_probes: Vec<ExhaustedProbe>,
+    failures: Vec<CheckFailure>,
+    /// Deterministic per-pair verdict strings, in superposition order
+    /// (fault-isolation harnesses compare these index-wise).
+    pair_verdicts: Vec<String>,
+    /// Deterministic per-probe verdict strings, in sample order.
+    probe_verdicts: Vec<String>,
     stats: CheckStats,
     /// Specification copy the evidence terms are rendered against.
     spec: Spec,
@@ -114,6 +139,32 @@ impl ConsistencyReport {
         self.probes_run
     }
 
+    /// Probes whose normalization ran out of fuel (divergence surfaced
+    /// as a partial verdict instead of a hang).
+    pub fn exhausted_probes(&self) -> &[ExhaustedProbe] {
+        &self.exhausted_probes
+    }
+
+    /// Work items that failed outright (worker panicked twice). The rest
+    /// of the report is unaffected by these items.
+    pub fn failures(&self) -> &[CheckFailure] {
+        &self.failures
+    }
+
+    /// Deterministic per-critical-pair verdict strings, in superposition
+    /// order. Two runs over the same spec yield identical vectors entry
+    /// for entry (at any job count); fault-isolation harnesses compare
+    /// these index-wise, skipping deliberately sabotaged indices.
+    pub fn pair_verdicts(&self) -> &[String] {
+        &self.pair_verdicts
+    }
+
+    /// Deterministic per-probe verdict strings, in sample order (same
+    /// contract as [`ConsistencyReport::pair_verdicts`]).
+    pub fn probe_verdicts(&self) -> &[String] {
+        &self.probe_verdicts
+    }
+
     /// Telemetry from the run (worker utilization, rewrite steps).
     /// Timings vary between runs; everything else in the report does not.
     pub fn stats(&self) -> &CheckStats {
@@ -125,7 +176,8 @@ impl ConsistencyReport {
         &self.spec
     }
 
-    /// Human-readable summary.
+    /// Human-readable summary. Clean runs render exactly as they always
+    /// have; exhaustion and engine-fault lines appear only when present.
     pub fn summary(&self) -> String {
         let mut out = format!(
             "consistency: {:?} ({} critical pairs, {} unresolved, {} probes)\n",
@@ -139,6 +191,23 @@ impl ConsistencyReport {
                 display::term(self.spec.sig(), &c.left_nf),
                 display::term(self.spec.sig(), &c.right_nf),
             ));
+        }
+        const SHOWN: usize = 5;
+        for e in self.exhausted_probes.iter().take(SHOWN) {
+            out.push_str(&format!(
+                "  exhausted probe: {} ({})\n",
+                display::term(self.spec.sig(), &e.term),
+                e.spent
+            ));
+        }
+        if self.exhausted_probes.len() > SHOWN {
+            out.push_str(&format!(
+                "  … and {} more exhausted probe(s)\n",
+                self.exhausted_probes.len() - SHOWN
+            ));
+        }
+        for f in &self.failures {
+            out.push_str(&format!("  engine fault: {}\n", f.error));
         }
         out
     }
@@ -178,41 +247,135 @@ pub fn check_consistency_with(spec: &Spec, probe: &ProbeConfig) -> ConsistencyRe
 /// only *normalized* in parallel. Both merges restore input order, so the
 /// report is byte-identical to the sequential one at any job count.
 pub fn check_consistency_jobs(spec: &Spec, probe: &ProbeConfig, jobs: usize) -> ConsistencyReport {
+    check_consistency_with_config(spec, probe, &CheckConfig::jobs(jobs))
+}
+
+/// [`check_consistency_jobs`] with a full [`CheckConfig`]: worker count,
+/// resource budget, and (for harnesses testing the engine itself) a
+/// fault-injection plan.
+///
+/// Robustness guarantees:
+///
+/// * Normalizations run under `config.fuel`; a probe that runs out is
+///   recorded in [`ConsistencyReport::exhausted_probes`] and surfaces as
+///   the [`ConsistencyVerdict::Exhausted`] partial verdict — never a hang.
+/// * A work item whose worker panics (twice) is recorded in
+///   [`ConsistencyReport::failures`]; every *other* item's verdict is
+///   unaffected, byte for byte.
+pub fn check_consistency_with_config(
+    spec: &Spec,
+    probe: &ProbeConfig,
+    config: &CheckConfig,
+) -> ConsistencyReport {
+    let jobs = config.jobs;
+    let faults = config.faults.clone().unwrap_or_default();
     let mut contradictions = Vec::new();
     let mut unresolved = 0;
     let mut stats = CheckStats::default();
+    let mut failures: Vec<CheckFailure> = Vec::new();
+    let mut exhausted_probes: Vec<ExhaustedProbe> = Vec::new();
+    let mut pair_verdicts: Vec<String> = Vec::new();
+    let mut probe_verdicts: Vec<String> = Vec::new();
 
     // Phase 1: critical pairs — sequential enumeration, parallel joining.
-    let set = superpositions(spec).expect("critical-pair analysis on a valid spec");
+    let set = match superpositions(spec) {
+        Ok(set) => set,
+        Err(err) => {
+            // Enumeration itself rejected the spec: no per-item work ran.
+            // Surface the phase failure instead of tearing the caller down.
+            let error = match err {
+                RewriteError::Engine(e) => e,
+                other => EngineError::PhaseFailed {
+                    phase: "pairs",
+                    message: other.to_string(),
+                },
+            };
+            failures.push(CheckFailure {
+                index: 0,
+                error,
+                retried: false,
+            });
+            return ConsistencyReport {
+                verdict: ConsistencyVerdict::Unknown,
+                contradictions,
+                unresolved_pairs: 0,
+                pairs_checked: 0,
+                probes_run: 0,
+                exhausted_probes,
+                failures,
+                pair_verdicts,
+                probe_verdicts,
+                stats,
+                spec: spec.clone(),
+            };
+        }
+    };
     let pairs_checked = set.superpositions.len();
-    let ext_rw = Rewriter::new(&set.spec);
-    let pair_run = run_indexed(jobs, &set.superpositions, |_, sp| {
-        classify_superposition(&ext_rw, sp)
-    });
+    let pair_faults = if faults.is_active() {
+        faults.arm("pairs", pairs_checked)
+    } else {
+        ArmedFaults::none()
+    };
+    let ext_rw = Rewriter::new(&set.spec).with_budget(config.fuel);
+    let tiny_pair_rw = ext_rw.clone().with_budget(Fuel::steps(1));
+    let pair_run = run_isolated(
+        jobs,
+        &set.superpositions,
+        |idx, sp| {
+            pair_faults.on_item(idx);
+            let rw = if pair_faults.exhausts(idx) {
+                &tiny_pair_rw
+            } else {
+                &ext_rw
+            };
+            classify_superposition(rw, sp)
+        },
+        |idx, sp| format!("critical pair #{idx} ({} / {})", sp.outer_rule, sp.inner_rule),
+    );
     stats.absorb(&pair_run.busy, pair_run.elapsed, pairs_checked);
     stats.pairs_checked = pairs_checked;
-    for pair in &pair_run.results {
-        match &pair.status {
-            PairStatus::Joinable(_) => {}
-            PairStatus::Diverged { left_nf, right_nf } => {
-                if distinguishable(set.spec.sig(), left_nf, right_nf) {
-                    contradictions.push(Contradiction {
-                        peak: pair.peak.clone(),
-                        left_nf: left_nf.clone(),
-                        right_nf: right_nf.clone(),
-                        source: "critical-pair",
-                    });
-                } else {
-                    unresolved += 1;
+    for outcome in pair_run.results {
+        match outcome {
+            ItemOutcome::Done(pair) => {
+                pair_verdicts.push(match &pair.status {
+                    PairStatus::Joinable(nf) => {
+                        format!("joins at {}", display::term(set.spec.sig(), nf))
+                    }
+                    PairStatus::Diverged { left_nf, right_nf } => format!(
+                        "diverged: {} vs {}",
+                        display::term(set.spec.sig(), left_nf),
+                        display::term(set.spec.sig(), right_nf)
+                    ),
+                    PairStatus::Unknown { reason } => format!("unknown: {reason}"),
+                });
+                match pair.status {
+                    PairStatus::Joinable(_) => {}
+                    PairStatus::Diverged { left_nf, right_nf } => {
+                        if distinguishable(set.spec.sig(), &left_nf, &right_nf) {
+                            contradictions.push(Contradiction {
+                                peak: pair.peak.clone(),
+                                left_nf,
+                                right_nf,
+                                source: "critical-pair",
+                            });
+                        } else {
+                            unresolved += 1;
+                        }
+                    }
+                    PairStatus::Unknown { .. } => unresolved += 1,
                 }
             }
-            PairStatus::Unknown { .. } => unresolved += 1,
+            ItemOutcome::Failed(failure) => {
+                pair_verdicts.push(format!("engine fault: {}", failure.error));
+                failures.push(failure);
+            }
         }
     }
 
     // Phase 2: randomized ground probing — sequential sampling (the RNG
     // stream is one deterministic sequence), parallel normalization.
-    let rw = Rewriter::new(spec);
+    let rw = Rewriter::new(spec).with_budget(config.fuel);
+    let tiny_rw = rw.clone().with_budget(Fuel::steps(1));
     let mut rng = DetRng::new(probe.seed);
     let observers: Vec<OpId> = spec.derived_ops().collect();
     let mut probe_terms = Vec::new();
@@ -225,15 +388,53 @@ pub fn check_consistency_jobs(spec: &Spec, probe: &ProbeConfig, jobs: usize) -> 
         }
     }
     let probes_run = probe_terms.len();
-    let probe_run = run_indexed(jobs, &probe_terms, |_, term| {
-        probe_divergence(&rw, spec.sig(), term)
-    });
+    let probe_faults = if faults.is_active() {
+        faults.arm("probes", probes_run)
+    } else {
+        ArmedFaults::none()
+    };
+    let probe_run = run_isolated(
+        jobs,
+        &probe_terms,
+        |idx, term| {
+            probe_faults.on_item(idx);
+            let rw = if probe_faults.exhausts(idx) {
+                &tiny_rw
+            } else {
+                &rw
+            };
+            probe_divergence(rw, spec.sig(), term)
+        },
+        |idx, term| format!("probe #{idx} ({})", display::term(spec.sig(), term)),
+    );
     stats.absorb(&probe_run.busy, probe_run.elapsed, probes_run);
     stats.probes_run = probes_run;
-    for (found, steps) in probe_run.results {
-        stats.rewrite_steps += steps;
-        if let Some(c) = found {
-            contradictions.push(c);
+    for (idx, outcome) in probe_run.results.into_iter().enumerate() {
+        match outcome {
+            ItemOutcome::Done(out) => {
+                stats.rewrite_steps += out.steps;
+                probe_verdicts.push(match (&out.found, &out.exhausted) {
+                    (Some(c), _) => format!(
+                        "diverged: {} vs {}",
+                        display::term(spec.sig(), &c.left_nf),
+                        display::term(spec.sig(), &c.right_nf)
+                    ),
+                    (None, Some(spent)) => format!("exhausted: {spent}"),
+                    (None, None) => "agreed".to_owned(),
+                });
+                if let Some(c) = out.found {
+                    contradictions.push(c);
+                } else if let Some(spent) = out.exhausted {
+                    exhausted_probes.push(ExhaustedProbe {
+                        term: probe_terms[idx].clone(),
+                        spent,
+                    });
+                }
+            }
+            ItemOutcome::Failed(failure) => {
+                probe_verdicts.push(format!("engine fault: {}", failure.error));
+                failures.push(failure);
+            }
         }
     }
 
@@ -241,8 +442,13 @@ pub fn check_consistency_jobs(spec: &Spec, probe: &ProbeConfig, jobs: usize) -> 
     let mut seen = HashSet::new();
     contradictions.retain(|c| seen.insert(c.peak.clone()));
 
+    // Precedence: a contradiction beats everything; exhaustion (a partial
+    // analysis) beats symbolic unknowns; engine failures never affect the
+    // verdict — they concern sabotaged items only.
     let verdict = if !contradictions.is_empty() {
         ConsistencyVerdict::Inconsistent
+    } else if !exhausted_probes.is_empty() {
+        ConsistencyVerdict::Exhausted
     } else if unresolved > 0 {
         ConsistencyVerdict::Unknown
     } else {
@@ -255,6 +461,10 @@ pub fn check_consistency_jobs(spec: &Spec, probe: &ProbeConfig, jobs: usize) -> 
         unresolved_pairs: unresolved,
         pairs_checked,
         probes_run,
+        exhausted_probes,
+        failures,
+        pair_verdicts,
+        probe_verdicts,
         stats,
         spec: set.spec,
     }
@@ -313,48 +523,71 @@ pub fn random_ctor_term(
     Some(Term::App(ctor, args?))
 }
 
+/// What one ground probe observed.
+struct ProbeOutcome {
+    /// First distinguishable disagreement among the reducts' normal forms.
+    found: Option<Contradiction>,
+    /// Fuel receipt from the first normalization that ran out, if any.
+    exhausted: Option<FuelSpent>,
+    /// Total rewrite steps spent.
+    steps: u64,
+}
+
 /// Enumerates every one-step reduct of `term` (any rule, any position),
-/// normalizes each, and reports the first distinguishable disagreement
-/// plus the number of rewrite steps spent.
-fn probe_divergence(
-    rw: &Rewriter<'_>,
-    sig: &Signature,
-    term: &Term,
-) -> (Option<Contradiction>, u64) {
+/// normalizes each, and reports the first distinguishable disagreement.
+/// A normalization that exhausts its budget is recorded — not swallowed —
+/// so divergent axiom sets surface as a partial verdict; other rewrite
+/// errors (ill-sorted reducts) skip that reduct as before.
+fn probe_divergence(rw: &Rewriter<'_>, sig: &Signature, term: &Term) -> ProbeOutcome {
     let mut steps = 0;
+    let mut exhausted: Option<FuelSpent> = None;
     let mut normal_forms: Vec<Term> = Vec::new();
     for (pos, sub) in term.subterms() {
         if let Term::App(op, _) = sub {
             for rule in rw.rules().for_head(*op) {
                 if let Some(subst) = match_pattern(rule.lhs(), sub) {
                     let contractum = subst.apply(rule.rhs());
-                    let rewritten = term
-                        .replace_at(&pos, contractum)
-                        .expect("position from subterms()");
-                    if let Ok(norm) = rw.normalize_full(&rewritten) {
-                        steps += norm.steps;
-                        normal_forms.push(norm.term);
+                    // `pos` came from `subterms()`, so it resolves; skip
+                    // defensively rather than panic if it ever does not.
+                    let Some(rewritten) = term.replace_at(&pos, contractum) else {
+                        continue;
+                    };
+                    match rw.normalize_full(&rewritten) {
+                        Ok(norm) => {
+                            steps += norm.steps;
+                            normal_forms.push(norm.term);
+                        }
+                        Err(RewriteError::Exhausted { spent, .. }) => {
+                            steps += spent.steps;
+                            if exhausted.is_none() {
+                                exhausted = Some(spent);
+                            }
+                        }
+                        Err(_) => {}
                     }
                 }
             }
         }
     }
-    for i in 0..normal_forms.len() {
+    let mut found = None;
+    'search: for i in 0..normal_forms.len() {
         for j in (i + 1)..normal_forms.len() {
             if distinguishable(sig, &normal_forms[i], &normal_forms[j]) {
-                return (
-                    Some(Contradiction {
-                        peak: term.clone(),
-                        left_nf: normal_forms[i].clone(),
-                        right_nf: normal_forms[j].clone(),
-                        source: "ground-probe",
-                    }),
-                    steps,
-                );
+                found = Some(Contradiction {
+                    peak: term.clone(),
+                    left_nf: normal_forms[i].clone(),
+                    right_nf: normal_forms[j].clone(),
+                    source: "ground-probe",
+                });
+                break 'search;
             }
         }
     }
-    (None, steps)
+    ProbeOutcome {
+        found,
+        exhausted,
+        steps,
+    }
 }
 
 #[cfg(test)]
@@ -467,6 +700,90 @@ mod tests {
         assert_eq!(stats.pairs_checked, report.pairs_checked());
         assert_eq!(stats.probes_run, report.probes_run());
         assert_eq!(stats.items, report.pairs_checked() + report.probes_run());
+    }
+
+    #[test]
+    fn divergent_axioms_exhaust_instead_of_hanging() {
+        // F(x) = F(x): every probe normalization loops forever. The check
+        // must terminate with a partial (Exhausted) verdict at exactly the
+        // configured budget, at any job count.
+        let mut b = SpecBuilder::new("Loop");
+        let s = b.sort("S");
+        let _c = b.ctor("C", [], s);
+        let f = b.op("F", [s], s);
+        let x = Term::Var(b.var("x", s));
+        b.axiom("loop", b.app(f, [x.clone()]), b.app(f, [x]));
+        let spec = b.build().unwrap();
+        let probe = ProbeConfig {
+            samples: 10,
+            max_depth: 3,
+            seed: 1,
+        };
+        let seq = check_consistency_with_config(
+            &spec,
+            &probe,
+            &CheckConfig::jobs(1).with_fuel(Fuel::steps(50)),
+        );
+        assert_eq!(seq.verdict(), &ConsistencyVerdict::Exhausted, "{}", seq.summary());
+        assert!(!seq.exhausted_probes().is_empty());
+        assert_eq!(seq.exhausted_probes()[0].spent.steps, 50);
+        assert!(seq.summary().contains("exhausted probe"), "{}", seq.summary());
+
+        let par = check_consistency_with_config(
+            &spec,
+            &probe,
+            &CheckConfig::jobs(4).with_fuel(Fuel::steps(50)),
+        );
+        assert_eq!(seq.summary(), par.summary());
+        assert_eq!(seq.probe_verdicts(), par.probe_verdicts());
+    }
+
+    #[test]
+    fn injected_panic_leaves_other_verdicts_identical() {
+        use crate::fault::FaultSpec;
+        let spec = consistent_spec();
+        let probe = ProbeConfig::default();
+        let clean = check_consistency_with_config(&spec, &probe, &CheckConfig::jobs(1));
+        let faults = FaultSpec {
+            seed: 11,
+            panics: 1,
+            ..FaultSpec::default()
+        };
+        for jobs in [1, 4] {
+            let cfg = CheckConfig::jobs(jobs).with_faults(faults.clone());
+            let faulted = check_consistency_with_config(&spec, &probe, &cfg);
+            assert!(!faulted.failures().is_empty());
+            assert_eq!(faulted.verdict(), clean.verdict());
+
+            let armed_pairs = faults.arm("pairs", clean.pairs_checked());
+            let armed_probes = faults.arm("probes", clean.probes_run());
+            assert_eq!(faulted.pair_verdicts().len(), clean.pair_verdicts().len());
+            assert_eq!(faulted.probe_verdicts().len(), clean.probe_verdicts().len());
+            for (idx, (a, b)) in clean
+                .pair_verdicts()
+                .iter()
+                .zip(faulted.pair_verdicts())
+                .enumerate()
+            {
+                if armed_pairs.is_faulted(idx) {
+                    assert!(b.starts_with("engine fault:"), "{b}");
+                } else {
+                    assert_eq!(a, b, "pair #{idx} (jobs {jobs})");
+                }
+            }
+            for (idx, (a, b)) in clean
+                .probe_verdicts()
+                .iter()
+                .zip(faulted.probe_verdicts())
+                .enumerate()
+            {
+                if armed_probes.is_faulted(idx) {
+                    assert!(b.starts_with("engine fault:"), "{b}");
+                } else {
+                    assert_eq!(a, b, "probe #{idx} (jobs {jobs})");
+                }
+            }
+        }
     }
 
     #[test]

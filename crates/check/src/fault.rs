@@ -1,0 +1,232 @@
+//! Deterministic fault injection for the checking engine.
+//!
+//! A robustness claim ("a panicking worker cannot corrupt the report")
+//! is only worth making if it can be *exercised*. A [`FaultSpec`]
+//! describes a reproducible set of faults — worker panics, fuel
+//! exhaustion, artificial slowness — and [`FaultSpec::arm`] maps it onto
+//! a concrete item range using the same deterministic RNG
+//! ([`adt_core::DetRng`]) the consistency probes use. The same spec
+//! armed for the same phase over the same item count always picks the
+//! same indices, so a fault-injection harness can predict exactly which
+//! work items were sabotaged and compare everything else against a
+//! fault-free run.
+
+use std::collections::BTreeSet;
+
+use adt_core::DetRng;
+
+/// A reproducible fault plan: how many items to sabotage per phase, and
+/// how.
+///
+/// Counts apply *per phase* (completeness, pairs, probes): `panics: 1`
+/// injects one panicking item into each phase it is armed for.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// Seed for the deterministic index choice.
+    pub seed: u64,
+    /// Items whose work closure panics (every attempt — injected panics
+    /// are deterministic, so the retry panics too).
+    pub panics: usize,
+    /// Items that run under a deliberately tiny fuel budget.
+    pub exhausts: usize,
+    /// Items that sleep before running (stresses chunk claiming and the
+    /// in-order merge without changing any result).
+    pub slows: usize,
+    /// How long a slowed item sleeps, in milliseconds.
+    pub slow_ms: u64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            seed: 0,
+            panics: 0,
+            exhausts: 0,
+            slows: 0,
+            slow_ms: 10,
+        }
+    }
+}
+
+/// FNV-1a over the phase name, mixing it into the seed so each phase
+/// picks independent indices.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl FaultSpec {
+    /// Whether any fault is configured at all.
+    pub fn is_active(&self) -> bool {
+        self.panics + self.exhausts + self.slows > 0
+    }
+
+    /// Maps the plan onto a concrete phase with `items` work items.
+    ///
+    /// Deterministic: the same `(spec, phase, items)` triple always
+    /// yields the same [`ArmedFaults`]. The three fault kinds pick
+    /// *disjoint* indices (panic wins over exhaust wins over slow), so a
+    /// single item never carries two faults.
+    pub fn arm(&self, phase: &str, items: usize) -> ArmedFaults {
+        let mut rng = DetRng::new(self.seed ^ fnv1a(phase));
+        let mut taken: BTreeSet<usize> = BTreeSet::new();
+        let mut pick = |count: usize, taken: &mut BTreeSet<usize>| -> BTreeSet<usize> {
+            let mut chosen = BTreeSet::new();
+            let want = count.min(items.saturating_sub(taken.len()));
+            while chosen.len() < want {
+                let idx = rng.below(items);
+                if taken.insert(idx) {
+                    chosen.insert(idx);
+                }
+            }
+            chosen
+        };
+        let panics = pick(self.panics, &mut taken);
+        let exhausts = pick(self.exhausts, &mut taken);
+        let slows = pick(self.slows, &mut taken);
+        ArmedFaults {
+            panics,
+            exhausts,
+            slows,
+            slow_ms: self.slow_ms,
+        }
+    }
+}
+
+/// A [`FaultSpec`] resolved against one phase's item range: the concrete
+/// indices to sabotage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArmedFaults {
+    panics: BTreeSet<usize>,
+    exhausts: BTreeSet<usize>,
+    slows: BTreeSet<usize>,
+    slow_ms: u64,
+}
+
+impl ArmedFaults {
+    /// An armed plan with no faults (what checkers use when no spec is
+    /// given — every query answers "not faulted").
+    pub fn none() -> Self {
+        ArmedFaults {
+            panics: BTreeSet::new(),
+            exhausts: BTreeSet::new(),
+            slows: BTreeSet::new(),
+            slow_ms: 0,
+        }
+    }
+
+    /// Called by the checker at the top of item `idx`'s work closure:
+    /// sleeps if the item is slowed, then panics if it is marked to
+    /// panic. Injected panics are deterministic by design, so the pool's
+    /// retry panics again and the item surfaces as failed.
+    pub fn on_item(&self, idx: usize) {
+        if self.slows.contains(&idx) {
+            std::thread::sleep(std::time::Duration::from_millis(self.slow_ms));
+        }
+        if self.panics.contains(&idx) {
+            panic!("injected fault: worker panic on item #{idx}");
+        }
+    }
+
+    /// Whether item `idx` should run under a deliberately tiny fuel
+    /// budget.
+    pub fn exhausts(&self, idx: usize) -> bool {
+        self.exhausts.contains(&idx)
+    }
+
+    /// Whether item `idx` carries any fault (panic, exhaust, or slow).
+    /// Fault-isolation harnesses use this to exclude sabotaged items
+    /// from byte-identity comparison.
+    pub fn is_faulted(&self, idx: usize) -> bool {
+        self.panics.contains(&idx) || self.exhausts.contains(&idx) || self.slows.contains(&idx)
+    }
+
+    /// The indices armed to panic, in ascending order.
+    pub fn panic_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.panics.iter().copied()
+    }
+
+    /// The indices armed to exhaust, in ascending order.
+    pub fn exhaust_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.exhausts.iter().copied()
+    }
+
+    /// The indices armed to run slow, in ascending order.
+    pub fn slow_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.slows.iter().copied()
+    }
+
+    /// Total number of faulted items.
+    pub fn fault_count(&self) -> usize {
+        self.panics.len() + self.exhausts.len() + self.slows.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arming_is_deterministic_and_phase_dependent() {
+        let spec = FaultSpec {
+            seed: 7,
+            panics: 2,
+            exhausts: 1,
+            slows: 1,
+            slow_ms: 1,
+        };
+        let a = spec.arm("probes", 50);
+        let b = spec.arm("probes", 50);
+        assert_eq!(a, b, "same phase and size arm identically");
+        assert_eq!(a.fault_count(), 4);
+        // Kinds are disjoint.
+        for idx in a.panic_indices() {
+            assert!(!a.exhausts(idx));
+        }
+    }
+
+    #[test]
+    fn arming_caps_at_the_item_count() {
+        let spec = FaultSpec {
+            seed: 1,
+            panics: 10,
+            exhausts: 10,
+            slows: 10,
+            slow_ms: 1,
+        };
+        let armed = spec.arm("pairs", 5);
+        assert_eq!(armed.fault_count(), 5, "cannot fault more items than exist");
+        let empty = spec.arm("pairs", 0);
+        assert_eq!(empty.fault_count(), 0);
+    }
+
+    #[test]
+    fn on_item_panics_exactly_on_armed_indices() {
+        let spec = FaultSpec {
+            seed: 3,
+            panics: 1,
+            ..FaultSpec::default()
+        };
+        let armed = spec.arm("completeness", 10);
+        let target: Vec<usize> = armed.panic_indices().collect();
+        assert_eq!(target.len(), 1);
+        for idx in 0..10 {
+            let hit = std::panic::catch_unwind(|| armed.on_item(idx)).is_err();
+            assert_eq!(hit, idx == target[0], "index {idx}");
+        }
+    }
+
+    #[test]
+    fn inactive_plan_and_none_are_inert() {
+        assert!(!FaultSpec::default().is_active());
+        let none = ArmedFaults::none();
+        for idx in 0..100 {
+            none.on_item(idx);
+            assert!(!none.is_faulted(idx));
+        }
+    }
+}

@@ -47,23 +47,29 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 mod classify;
 mod completeness;
+mod config;
 mod consistency;
+pub mod fault;
 mod lint;
 pub mod parallel;
 
 pub use classify::{classification_warnings, infer_constructors};
+pub use config::CheckConfig;
+pub use fault::{ArmedFaults, FaultSpec};
 pub use completeness::{
-    check_completeness, check_completeness_jobs, CompletenessReport, Coverage, OpCoverage,
-    PatternNote,
+    check_completeness, check_completeness_jobs, check_completeness_with_config,
+    CompletenessReport, Coverage, OpCoverage, PatternNote,
 };
 pub use consistency::{
-    check_consistency, check_consistency_jobs, check_consistency_with, ConsistencyReport,
-    ConsistencyVerdict, Contradiction, ProbeConfig,
+    check_consistency, check_consistency_jobs, check_consistency_with,
+    check_consistency_with_config, ConsistencyReport, ConsistencyVerdict, Contradiction,
+    ExhaustedProbe, ProbeConfig,
 };
-pub use parallel::CheckStats;
+pub use parallel::{CheckFailure, CheckStats, ItemOutcome};
 pub use lint::{
     overlap_warnings, overlapping_axioms, recursion_warnings, OverlapPair, RecursionWarning,
 };

@@ -15,8 +15,11 @@
 //! Determinism therefore does not depend on scheduling: only the *timing*
 //! numbers in [`CheckStats`] vary between runs.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
+
+use adt_core::EngineError;
 
 /// Resolves a requested job count: `0` means "use every available core"
 /// (per `std::thread::available_parallelism`), anything else is taken
@@ -42,30 +45,117 @@ pub struct PoolRun<R> {
     pub elapsed: Duration,
 }
 
-/// Runs `work(index, &items[index])` for every item and returns the
-/// results **in item order**, fanning the items across `jobs` worker
-/// threads (resolved by [`effective_jobs`]; capped at the item count).
+/// A work item that could not be completed even after its retry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckFailure {
+    /// Index of the failed item in the input slice.
+    pub index: usize,
+    /// What went wrong (always names the item via the caller's label).
+    pub error: EngineError,
+    /// Whether the item was retried before being declared failed
+    /// (currently always `true`: every failure is preceded by a retry).
+    pub retried: bool,
+}
+
+/// Per-item outcome of a panic-isolated pool run ([`run_isolated`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ItemOutcome<R> {
+    /// The work closure returned normally (possibly only on retry).
+    Done(R),
+    /// The work closure panicked on every attempt.
+    Failed(CheckFailure),
+}
+
+impl<R> ItemOutcome<R> {
+    /// The result, if the item completed.
+    pub fn as_done(&self) -> Option<&R> {
+        match self {
+            ItemOutcome::Done(r) => Some(r),
+            ItemOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The failure, if the item did not complete.
+    pub fn failure(&self) -> Option<&CheckFailure> {
+        match self {
+            ItemOutcome::Done(_) => None,
+            ItemOutcome::Failed(f) => Some(f),
+        }
+    }
+
+    /// Consumes the outcome, yielding the result if the item completed.
+    pub fn into_done(self) -> Option<R> {
+        match self {
+            ItemOutcome::Done(r) => Some(r),
+            ItemOutcome::Failed(_) => None,
+        }
+    }
+}
+
+/// Renders a panic payload for an error report.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs one item with a single retry: an item whose first attempt panics
+/// is attempted once more on the calling thread (a fresh stack); a second
+/// panic produces [`ItemOutcome::Failed`].
+fn run_one<T, R, W, L>(idx: usize, item: &T, work: &W, label: &L) -> ItemOutcome<R>
+where
+    W: Fn(usize, &T) -> R,
+    L: Fn(usize, &T) -> String,
+{
+    if let Ok(r) = catch_unwind(AssertUnwindSafe(|| work(idx, item))) {
+        return ItemOutcome::Done(r);
+    }
+    match catch_unwind(AssertUnwindSafe(|| work(idx, item))) {
+        Ok(r) => ItemOutcome::Done(r),
+        Err(payload) => ItemOutcome::Failed(CheckFailure {
+            index: idx,
+            error: EngineError::WorkerPanicked {
+                item: label(idx, item),
+                message: panic_message(payload.as_ref()),
+            },
+            retried: true,
+        }),
+    }
+}
+
+/// Like [`run_indexed`], but a panicking work item cannot take the pool
+/// (or the process) down: every chunk runs under `catch_unwind`, a
+/// panicked chunk's unfinished items are re-run item-by-item on the
+/// coordinating thread (a fresh stack), and an item that still panics is
+/// reported as [`ItemOutcome::Failed`] carrying an
+/// [`EngineError::WorkerPanicked`] that names the item via `label`. All
+/// other workers keep draining the queue; their results are untouched.
 ///
-/// Workers claim fixed-size chunks of the index space from an atomic
-/// cursor, so items are processed at most once and no queue allocation or
-/// locking is needed. With `jobs <= 1` — or a single item — the work runs
-/// on the calling thread, making the sequential path literally the same
-/// code minus the spawn.
-///
-/// # Panics
-///
-/// Propagates a panic from `work` (the pool joins every worker).
-pub fn run_indexed<T, R, F>(jobs: usize, items: &[T], work: F) -> PoolRun<R>
+/// The `AssertUnwindSafe` is justified: a panicked chunk's partial
+/// results are discarded wholesale and its items retried from scratch,
+/// and the only state shared across attempts — the rewriter's sharded
+/// memo — recovers poisoned shards explicitly (`PoisonError::into_inner`)
+/// and only ever caches context-free facts.
+pub fn run_isolated<T, R, W, L>(jobs: usize, items: &[T], work: W, label: L) -> PoolRun<ItemOutcome<R>>
 where
     T: Sync,
     R: Send,
-    F: Fn(usize, &T) -> R + Sync,
+    W: Fn(usize, &T) -> R + Sync,
+    L: Fn(usize, &T) -> String,
 {
     let started = Instant::now();
     let jobs = effective_jobs(jobs).min(items.len()).max(1);
     if jobs == 1 {
         let t0 = Instant::now();
-        let results = items.iter().enumerate().map(|(i, t)| work(i, t)).collect();
+        let results = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| run_one(i, t, &work, &label))
+            .collect();
         let busy = vec![t0.elapsed()];
         return PoolRun {
             results,
@@ -91,31 +181,88 @@ where
                             break;
                         }
                         let end = (base + chunk).min(items.len());
-                        for (idx, item) in items.iter().enumerate().take(end).skip(base) {
-                            out.push((idx, work(idx, item)));
+                        // One catch_unwind per chunk: a panic forfeits the
+                        // chunk's partial results (recovered below) but the
+                        // worker itself survives to claim the next chunk.
+                        let attempt = catch_unwind(AssertUnwindSafe(|| {
+                            let mut got = Vec::new();
+                            for (idx, item) in items.iter().enumerate().take(end).skip(base) {
+                                got.push((idx, work(idx, item)));
+                            }
+                            got
+                        }));
+                        if let Ok(got) = attempt {
+                            out.extend(got);
                         }
                     }
                     (out, t0.elapsed())
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("check worker panicked"))
-            .collect()
+        // A worker thread can only die outside the catch_unwind (e.g. an
+        // allocation failure building its result vector); its items show
+        // up as missing below and are recovered inline, so a failed join
+        // costs results nothing.
+        handles.into_iter().filter_map(|h| h.join().ok()).collect()
     });
 
-    let busy = per_worker.iter().map(|(_, d)| *d).collect();
-    let mut indexed: Vec<(usize, R)> = per_worker
+    let busy: Vec<Duration> = per_worker.iter().map(|(_, d)| *d).collect();
+    let mut slots: Vec<Option<ItemOutcome<R>>> = (0..items.len()).map(|_| None).collect();
+    for (idx, r) in per_worker.into_iter().flat_map(|(results, _)| results) {
+        slots[idx] = Some(ItemOutcome::Done(r));
+    }
+    // Items lost to a panicked chunk (or a dead worker) are re-run on
+    // this thread, each with the standard single retry.
+    let results = slots
         .into_iter()
-        .flat_map(|(results, _)| results)
+        .enumerate()
+        .map(|(idx, slot)| match slot {
+            Some(done) => done,
+            None => run_one(idx, &items[idx], work, &label),
+        })
         .collect();
-    indexed.sort_by_key(|&(i, _)| i);
-    let results = indexed.into_iter().map(|(_, r)| r).collect();
     PoolRun {
         results,
         busy,
         elapsed: started.elapsed(),
+    }
+}
+
+/// Runs `work(index, &items[index])` for every item and returns the
+/// results **in item order**, fanning the items across `jobs` worker
+/// threads (resolved by [`effective_jobs`]; capped at the item count).
+///
+/// Workers claim fixed-size chunks of the index space from an atomic
+/// cursor, so items are processed at most once and no queue allocation or
+/// locking is needed. With `jobs <= 1` — or a single item — the work runs
+/// on the calling thread, making the sequential path literally the same
+/// code minus the spawn.
+///
+/// Built on [`run_isolated`]: a transient panic is absorbed by the retry.
+///
+/// # Panics
+///
+/// Panics (on the calling thread, after all other items finish) if an
+/// item panics on every attempt.
+pub fn run_indexed<T, R, F>(jobs: usize, items: &[T], work: F) -> PoolRun<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let run = run_isolated(jobs, items, work, |i, _| format!("item #{i}"));
+    let results = run
+        .results
+        .into_iter()
+        .map(|outcome| match outcome {
+            ItemOutcome::Done(r) => r,
+            ItemOutcome::Failed(f) => panic!("{}", f.error),
+        })
+        .collect();
+    PoolRun {
+        results,
+        busy: run.busy,
+        elapsed: run.elapsed,
     }
 }
 
@@ -247,6 +394,68 @@ mod tests {
         let u = stats.utilization();
         assert!((0.0..=1.0).contains(&u), "utilization {u} out of range");
         assert_eq!(stats.items, 64);
+    }
+
+    #[test]
+    fn isolated_pool_contains_a_deterministic_panic() {
+        let items: Vec<usize> = (0..100).collect();
+        for jobs in [1, 4] {
+            let run = run_isolated(
+                jobs,
+                &items,
+                |_, &x| {
+                    assert!(x != 37, "injected fault on 37");
+                    x * 2
+                },
+                |i, _| format!("probe #{i}"),
+            );
+            assert_eq!(run.results.len(), items.len());
+            for (i, outcome) in run.results.iter().enumerate() {
+                if i == 37 {
+                    let f = outcome.failure().expect("item 37 must fail");
+                    assert_eq!(f.index, 37);
+                    assert!(f.retried);
+                    assert!(f.error.to_string().contains("probe #37"), "{}", f.error);
+                } else {
+                    assert_eq!(outcome.as_done(), Some(&(i * 2)), "jobs={jobs} item {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_pool_retries_transient_panics() {
+        use std::sync::atomic::AtomicBool;
+        let items: Vec<usize> = (0..8).collect();
+        let tripped = AtomicBool::new(false);
+        let run = run_isolated(
+            4,
+            &items,
+            |_, &x| {
+                if x == 3 && !tripped.swap(true, Ordering::SeqCst) {
+                    panic!("transient fault");
+                }
+                x + 1
+            },
+            |i, _| format!("item #{i}"),
+        );
+        // The transient panic is absorbed by the retry: every item done.
+        let done: Vec<usize> = run.results.into_iter().filter_map(ItemOutcome::into_done).collect();
+        assert_eq!(done, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_indexed_survives_a_transient_panic() {
+        use std::sync::atomic::AtomicBool;
+        let items: Vec<usize> = (0..64).collect();
+        let tripped = AtomicBool::new(false);
+        let run = run_indexed(2, &items, |_, &x| {
+            if x == 11 && !tripped.swap(true, Ordering::SeqCst) {
+                panic!("transient fault");
+            }
+            x
+        });
+        assert_eq!(run.results, items);
     }
 
     #[test]

@@ -23,12 +23,14 @@ use std::fmt::Write as _;
 use std::fs;
 
 use adt_check::{
-    check_completeness_jobs, check_consistency_jobs, classification_warnings, overlap_warnings,
-    recursion_warnings, CheckStats, ProbeConfig,
+    check_completeness_with_config, check_consistency_with_config, classification_warnings,
+    overlap_warnings, recursion_warnings, CheckConfig, CheckStats, ConsistencyVerdict, FaultSpec,
+    ProbeConfig,
 };
-use adt_core::{display, Spec};
+use adt_core::{display, Fuel, Spec};
 use adt_dsl::{parse, parse_term, print_spec};
 use adt_rewrite::{Proof, Rewriter};
+use adt_verify::{fault_isolation_check, parse_fault_plan};
 
 /// The outcome of running a command: what to print, and the exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,10 +58,14 @@ impl Outcome {
 
 /// The usage banner.
 pub const USAGE: &str = "usage:
-  adt check [--jobs N] [--stats] <file.adt>
+  adt check [--jobs N] [--stats] [--fuel N] [--faults PLAN] <file.adt>
                                        parse and run the mechanical checks
                                        (--jobs 0 = all cores; --stats prints
-                                       worker/probe telemetry)
+                                       worker/probe telemetry; --fuel caps
+                                       rewrite steps per work item; --faults
+                                       injects engine faults, e.g.
+                                       \"seed=7,panic=1\", and verifies the
+                                       non-faulted verdicts are untouched)
   adt fmt <file.adt>                   print the canonical form
   adt eval <file.adt> <term>           normalize a term
   adt trace <file.adt> <term>          normalize, printing the derivation
@@ -75,14 +81,20 @@ struct CheckOpts {
     jobs: usize,
     /// Whether to print the [`CheckStats`] telemetry after the report.
     stats: bool,
+    /// Rewrite-step budget per work item (`None` = the engine default).
+    fuel: Option<u64>,
+    /// Fault-injection plan (switches `check` into isolation-harness mode).
+    faults: Option<FaultSpec>,
 }
 
-/// Splits `--jobs N` / `--stats` out of a `check` argument list, leaving
-/// the positional arguments in place.
+/// Splits `--jobs N` / `--stats` / `--fuel N` / `--faults PLAN` out of a
+/// `check` argument list, leaving the positional arguments in place.
 fn parse_check_flags(args: &[String]) -> Result<(CheckOpts, Vec<String>), String> {
     let mut opts = CheckOpts {
         jobs: 1,
         stats: false,
+        fuel: None,
+        faults: None,
     };
     let mut positional = Vec::new();
     let mut it = args.iter();
@@ -96,6 +108,25 @@ fn parse_check_flags(args: &[String]) -> Result<(CheckOpts, Vec<String>), String
                 opts.jobs = n
                     .parse()
                     .map_err(|_| format!("--jobs: `{n}` is not a number\n"))?;
+            }
+            "--fuel" => {
+                let Some(n) = it.next() else {
+                    return Err("--fuel needs a rewrite-step budget\n".to_owned());
+                };
+                let steps: u64 = n
+                    .parse()
+                    .map_err(|_| format!("--fuel: `{n}` is not a number\n"))?;
+                if steps == 0 {
+                    return Err("--fuel: the budget must be at least 1\n".to_owned());
+                }
+                opts.fuel = Some(steps);
+            }
+            "--faults" => {
+                let Some(plan) = it.next() else {
+                    return Err("--faults needs a plan, e.g. \"seed=7,panic=1\"\n".to_owned());
+                };
+                opts.faults =
+                    Some(parse_fault_plan(plan).map_err(|e| format!("--faults: {e}\n"))?);
             }
             _ => positional.push(arg.clone()),
         }
@@ -146,6 +177,14 @@ fn with_file(
 }
 
 fn cmd_check(spec: &Spec, opts: &CheckOpts) -> Outcome {
+    let mut config = CheckConfig::jobs(opts.jobs);
+    if let Some(steps) = opts.fuel {
+        config = config.with_fuel(Fuel::steps(steps));
+    }
+    if let Some(plan) = &opts.faults {
+        return cmd_check_faults(spec, plan, &config);
+    }
+
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -157,31 +196,54 @@ fn cmd_check(spec: &Spec, opts: &CheckOpts) -> Outcome {
     );
     let mut failed = false;
 
-    let completeness = check_completeness_jobs(spec, opts.jobs);
-    if completeness.is_sufficiently_complete() {
-        let _ = writeln!(out, "sufficiently complete: yes");
-    } else {
+    let completeness = check_completeness_with_config(spec, &config);
+    if completeness.has_definite_missing() {
+        // Definite negatives fail the check; a merely *partial* analysis
+        // (exhausted or faulted) is reported but keeps exit code 0 — the
+        // engine ran out of budget, the spec was not proved wrong.
         failed = true;
         let _ = writeln!(out, "sufficiently complete: NO");
         for line in completeness.prompts().lines() {
             let _ = writeln!(out, "  {line}");
         }
-    }
-
-    let consistency = check_consistency_jobs(spec, &ProbeConfig::default(), opts.jobs);
-    if consistency.is_consistent() {
-        let _ = writeln!(
-            out,
-            "consistent: yes ({} critical pairs, {} probes)",
-            consistency.pairs_checked(),
-            consistency.probes_run()
-        );
-    } else {
-        failed = true;
-        let _ = writeln!(out, "consistent: NO");
-        for line in consistency.summary().lines().skip(1) {
+    } else if !completeness.undetermined_ops().is_empty() {
+        let _ = writeln!(out, "sufficiently complete: UNDETERMINED (partial analysis)");
+        for line in completeness.prompts().lines() {
             let _ = writeln!(out, "  {line}");
         }
+    } else {
+        let _ = writeln!(out, "sufficiently complete: yes");
+    }
+
+    let consistency = check_consistency_with_config(spec, &ProbeConfig::default(), &config);
+    match consistency.verdict() {
+        ConsistencyVerdict::Consistent => {
+            let _ = writeln!(
+                out,
+                "consistent: yes ({} critical pairs, {} probes)",
+                consistency.pairs_checked(),
+                consistency.probes_run()
+            );
+        }
+        ConsistencyVerdict::Exhausted => {
+            let _ = writeln!(
+                out,
+                "consistent: UNDETERMINED (normalization exhausted its fuel budget)"
+            );
+            for line in consistency.summary().lines().skip(1) {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        ConsistencyVerdict::Inconsistent | ConsistencyVerdict::Unknown => {
+            failed = true;
+            let _ = writeln!(out, "consistent: NO");
+            for line in consistency.summary().lines().skip(1) {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+    }
+    for f in consistency.failures() {
+        let _ = writeln!(out, "warning: {}", f.error);
     }
 
     for w in classification_warnings(spec) {
@@ -213,6 +275,28 @@ fn cmd_check(spec: &Spec, opts: &CheckOpts) -> Outcome {
         Outcome::fail(out)
     } else {
         Outcome::ok(out)
+    }
+}
+
+/// `adt check --faults`: run the fault-isolation harness instead of the
+/// plain checks. Exit code 0 means every *non-faulted* work item produced
+/// a verdict byte-identical to a fault-free run — the injected faults
+/// (worker panics, exhausted budgets, slow chunks) were fully contained.
+fn cmd_check_faults(spec: &Spec, plan: &FaultSpec, config: &CheckConfig) -> Outcome {
+    let report = fault_isolation_check(spec, &ProbeConfig::default(), plan, config);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{}: fault-injection harness ({} fault(s) armed, {} job(s))",
+        spec.name(),
+        report.faults_injected(),
+        config.jobs
+    );
+    out.push_str(&report.render());
+    if report.isolated() {
+        Outcome::ok(out)
+    } else {
+        Outcome::fail(out)
     }
 }
 
@@ -393,6 +477,83 @@ end
         let out = run(&args(&["check", "--jobs"]));
         assert_eq!(out.code, 2);
         assert!(out.output.contains("--jobs needs a number"));
+    }
+
+    const LOOP: &str = "type L\nops\n  C: -> L ctor\n  F: L -> L\nvars\n  x: L\naxioms\n  [1] F(x) = F(x)\nend\n";
+
+    #[test]
+    fn check_fuel_flag_surfaces_divergence_as_undetermined() {
+        let path = fixture("fuel", LOOP);
+        for jobs in ["1", "4"] {
+            let out = run(&args(&[
+                "check",
+                "--jobs",
+                jobs,
+                "--fuel",
+                "100",
+                path.to_str().unwrap(),
+            ]));
+            assert_eq!(out.code, 0, "jobs {jobs}: {}", out.output);
+            assert!(
+                out.output.contains("consistent: UNDETERMINED"),
+                "jobs {jobs}: {}",
+                out.output
+            );
+            assert!(
+                out.output.contains("exhausted probe"),
+                "jobs {jobs}: {}",
+                out.output
+            );
+        }
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_faults_flag_runs_the_isolation_harness() {
+        let path = fixture("faults", QUEUE);
+        for jobs in ["1", "4"] {
+            let out = run(&args(&[
+                "check",
+                "--jobs",
+                jobs,
+                "--faults",
+                "seed=7,panic=1",
+                path.to_str().unwrap(),
+            ]));
+            assert_eq!(out.code, 0, "jobs {jobs}: {}", out.output);
+            assert!(
+                out.output.contains("fault-injection harness"),
+                "jobs {jobs}: {}",
+                out.output
+            );
+            assert!(
+                out.output.contains("non-faulted verdicts identical: yes"),
+                "jobs {jobs}: {}",
+                out.output
+            );
+            assert!(
+                out.output.contains("faulted item(s) ["),
+                "jobs {jobs}: {}",
+                out.output
+            );
+        }
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_rejects_malformed_fuel_and_fault_flags() {
+        let out = run(&args(&["check", "--fuel", "many", "x.adt"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("not a number"));
+        let out = run(&args(&["check", "--fuel", "0", "x.adt"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("at least 1"));
+        let out = run(&args(&["check", "--faults", "frobnicate=1", "x.adt"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("unknown fault plan key"));
+        let out = run(&args(&["check", "--faults"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("--faults needs a plan"));
     }
 
     #[test]

@@ -109,6 +109,70 @@ impl fmt::Display for CoreError {
 
 impl Error for CoreError {}
 
+/// Structural faults inside the checking/rewriting machinery itself —
+/// as opposed to [`CoreError`], which reports problems with the *input*.
+///
+/// The engines are total by construction: a worker panic, a poisoned
+/// lock, or a dangling id must surface as a value the caller can report,
+/// not as an `unwrap` that tears the process down. Every variant carries
+/// enough context to identify the offending work item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A worker thread panicked while processing a work item (twice: the
+    /// original run and one retry on a fresh worker).
+    WorkerPanicked {
+        /// Human-readable description of the work item (an operation
+        /// name, a rendered probe term, a pair of axiom labels).
+        item: String,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A lock was poisoned by a panicking holder and the protected data
+    /// could not be trusted.
+    LockPoisoned {
+        /// What the lock protects.
+        what: String,
+    },
+    /// An id did not resolve in the signature it was used against (a
+    /// term crossed specification boundaries).
+    DanglingId {
+        /// What kind of id (`"operation"`, `"sort"`, `"variable"`).
+        kind: &'static str,
+        /// The raw index.
+        index: usize,
+    },
+    /// A whole analysis phase failed before any per-item work began
+    /// (e.g. critical-pair enumeration rejected the specification).
+    PhaseFailed {
+        /// The phase that failed (`"pairs"`, `"probes"`, `"completeness"`).
+        phase: &'static str,
+        /// The underlying error, rendered.
+        message: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::WorkerPanicked { item, message } => {
+                write!(f, "worker panicked on {item}: {message}")
+            }
+            EngineError::LockPoisoned { what } => {
+                write!(f, "lock poisoned: {what}")
+            }
+            EngineError::DanglingId { kind, index } => {
+                write!(f, "{kind} id #{index} does not belong to this signature")
+            }
+            EngineError::PhaseFailed { phase, message } => {
+                write!(f, "{phase} phase failed: {message}")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,6 +196,23 @@ mod tests {
         };
         assert!(e.to_string().contains("argument 1 of FRONT"));
         assert!(e.to_string().contains("`Queue`"));
+    }
+
+    #[test]
+    fn engine_errors_name_the_item() {
+        let e = EngineError::WorkerPanicked {
+            item: "operation `FRONT`".into(),
+            message: "injected fault".into(),
+        };
+        assert_eq!(
+            e.to_string(),
+            "worker panicked on operation `FRONT`: injected fault"
+        );
+        let e = EngineError::DanglingId {
+            kind: "operation",
+            index: 9,
+        };
+        assert!(e.to_string().contains("#9"));
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Resource budgets for the engines built on this crate.
+//!
+//! The paper's algebra makes `error` a first-class value that every
+//! operation must propagate; the same discipline applied to the *tools*
+//! means no entry point may hang or die — it must terminate with a
+//! verdict. A [`Fuel`] budget bounds the three resources a divergent
+//! axiom set can otherwise consume without limit: rewrite steps, term
+//! (recursion) depth, and wall-clock time. When a budget runs out the
+//! engines report a [`FuelSpent`] receipt — how much was consumed and
+//! which bound tripped — instead of spinning.
+//!
+//! Steps and depth are deterministic: the same input exhausts at exactly
+//! the same point on every run and at every worker count, so reports
+//! containing exhaustion verdicts stay byte-identical. A wall-clock
+//! deadline is inherently timing-dependent and therefore **off by
+//! default**; enabling it trades report determinism for a hard latency
+//! bound.
+
+use std::time::Duration;
+
+/// The default step budget: generous for every workload in this
+/// repository while still catching circular axiom sets quickly.
+pub const DEFAULT_FUEL_STEPS: u64 = 1_000_000;
+
+/// A resource budget for one normalization (or one checker work item).
+///
+/// ```
+/// use adt_core::Fuel;
+/// let budget = Fuel::steps(10_000).with_max_depth(512);
+/// assert_eq!(budget.steps, 10_000);
+/// assert_eq!(budget.max_depth, Some(512));
+/// assert_eq!(budget.deadline, None); // deadlines are opt-in
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fuel {
+    /// Maximum number of rewrite steps (rule applications, built-in `if`
+    /// reductions included).
+    pub steps: u64,
+    /// Maximum evaluation (term recursion) depth, if bounded.
+    pub max_depth: Option<usize>,
+    /// Wall-clock budget, if bounded. Non-deterministic: two runs may
+    /// exhaust at different points. Off by default.
+    pub deadline: Option<Duration>,
+}
+
+impl Default for Fuel {
+    fn default() -> Self {
+        Fuel {
+            steps: DEFAULT_FUEL_STEPS,
+            max_depth: None,
+            deadline: None,
+        }
+    }
+}
+
+impl Fuel {
+    /// A budget of `steps` rewrite steps with no depth or deadline bound.
+    pub fn steps(steps: u64) -> Self {
+        Fuel {
+            steps,
+            ..Fuel::default()
+        }
+    }
+
+    /// Adds a depth bound.
+    #[must_use]
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = Some(depth);
+        self
+    }
+
+    /// Adds a wall-clock deadline (non-deterministic; see module docs).
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+}
+
+/// Which bound of a [`Fuel`] budget tripped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustionCause {
+    /// The step budget was fully consumed.
+    Steps,
+    /// The depth bound was exceeded.
+    Depth,
+    /// The wall-clock deadline passed.
+    Deadline,
+}
+
+impl std::fmt::Display for ExhaustionCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExhaustionCause::Steps => write!(f, "step budget"),
+            ExhaustionCause::Depth => write!(f, "depth bound"),
+            ExhaustionCause::Deadline => write!(f, "deadline"),
+        }
+    }
+}
+
+/// A receipt for an exhausted budget: what was spent and which bound
+/// tripped. Deliberately contains no timing data (beyond the cause), so
+/// it can appear in reports that must be byte-identical across runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuelSpent {
+    /// Rewrite steps performed before the budget ran out. When
+    /// `cause == Steps`, this equals the configured step budget exactly.
+    pub steps: u64,
+    /// Deepest evaluation depth reached.
+    pub depth: usize,
+    /// The bound that tripped.
+    pub cause: ExhaustionCause,
+}
+
+impl std::fmt::Display for FuelSpent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} exhausted after {} step(s), depth {}",
+            self.cause, self.steps, self.depth
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_bound_steps_only() {
+        let f = Fuel::default();
+        assert_eq!(f.steps, DEFAULT_FUEL_STEPS);
+        assert_eq!(f.max_depth, None);
+        assert_eq!(f.deadline, None);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let f = Fuel::steps(7)
+            .with_max_depth(3)
+            .with_deadline(Duration::from_millis(100));
+        assert_eq!(f.steps, 7);
+        assert_eq!(f.max_depth, Some(3));
+        assert_eq!(f.deadline, Some(Duration::from_millis(100)));
+    }
+
+    #[test]
+    fn spent_display_names_the_cause() {
+        let s = FuelSpent {
+            steps: 100,
+            depth: 4,
+            cause: ExhaustionCause::Steps,
+        };
+        let text = s.to_string();
+        assert!(text.contains("step budget"), "{text}");
+        assert!(text.contains("100"), "{text}");
+    }
+}

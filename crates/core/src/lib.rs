@@ -58,6 +58,7 @@
 
 mod axiom;
 mod error;
+mod fuel;
 mod ids;
 mod matching;
 mod rng;
@@ -70,7 +71,8 @@ mod unify;
 pub mod display;
 
 pub use axiom::Axiom;
-pub use error::CoreError;
+pub use error::{CoreError, EngineError};
+pub use fuel::{ExhaustionCause, Fuel, FuelSpent, DEFAULT_FUEL_STEPS};
 pub use ids::{OpId, SortId, VarId};
 pub use matching::{match_pattern, match_pattern_at_root};
 pub use rng::DetRng;

@@ -271,6 +271,17 @@ impl Signature {
         &self.vars[id.index()]
     }
 
+    /// Fallible operation lookup, for engine code that must stay total
+    /// even when handed a term from a different specification.
+    pub fn try_op(&self, id: OpId) -> Result<&OpInfo, crate::EngineError> {
+        self.ops
+            .get(id.index())
+            .ok_or(crate::EngineError::DanglingId {
+                kind: "operation",
+                index: id.index(),
+            })
+    }
+
     /// Resolves a sort by name.
     pub fn find_sort(&self, name: &str) -> Option<SortId> {
         self.sort_by_name.get(name).copied()

@@ -6,8 +6,9 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::Mutex;
+use std::time::Instant;
 
-use adt_core::{match_pattern, Ite, Spec, Term};
+use adt_core::{match_pattern, ExhaustionCause, Fuel, FuelSpent, Ite, Spec, Term};
 
 use crate::error::RewriteError;
 use crate::rule::{Rule, RuleSet};
@@ -62,20 +63,82 @@ fn lookup(asms: &Assumptions, cond: &Term) -> Option<bool> {
     asms.iter().rev().find(|(t, _)| t == cond).map(|&(_, b)| b)
 }
 
+/// How often (in steps) the wall-clock deadline is polled. Checking every
+/// step would put a syscall in the hot loop; every 1024th step bounds the
+/// overshoot while keeping the common (no-deadline) path branch-only.
+const DEADLINE_CHECK_INTERVAL: u64 = 1024;
+
 struct EvalState {
     remaining: u64,
     steps: u64,
+    depth: usize,
+    max_depth: usize,
+    /// Only sampled when the budget carries a deadline, so budgets
+    /// without one stay fully deterministic.
+    started: Option<Instant>,
     trace: Option<Trace>,
 }
 
 impl EvalState {
-    fn tick(&mut self, limit: u64) -> Result<()> {
+    fn new(budget: &Fuel, trace: Option<Trace>) -> Self {
+        EvalState {
+            remaining: budget.steps,
+            steps: 0,
+            depth: 0,
+            max_depth: 0,
+            started: budget.deadline.map(|_| Instant::now()),
+            trace,
+        }
+    }
+
+    fn spent(&self, cause: ExhaustionCause) -> FuelSpent {
+        FuelSpent {
+            steps: self.steps,
+            depth: self.max_depth,
+            cause,
+        }
+    }
+
+    fn tick(&mut self, budget: &Fuel) -> Result<()> {
         if self.remaining == 0 {
-            return Err(RewriteError::FuelExhausted { limit });
+            return Err(RewriteError::Exhausted {
+                spent: self.spent(ExhaustionCause::Steps),
+                budget: *budget,
+            });
         }
         self.remaining -= 1;
         self.steps += 1;
+        if let (Some(deadline), Some(started)) = (budget.deadline, self.started) {
+            if self.steps.is_multiple_of(DEADLINE_CHECK_INTERVAL) && started.elapsed() >= deadline {
+                return Err(RewriteError::Exhausted {
+                    spent: self.spent(ExhaustionCause::Deadline),
+                    budget: *budget,
+                });
+            }
+        }
         Ok(())
+    }
+
+    fn enter(&mut self, budget: &Fuel) -> Result<()> {
+        self.depth += 1;
+        if let Some(cap) = budget.max_depth {
+            if self.depth > cap {
+                // Report only levels actually entered: the receipt's
+                // depth is the deepest admitted, i.e. the cap itself.
+                return Err(RewriteError::Exhausted {
+                    spent: self.spent(ExhaustionCause::Depth),
+                    budget: *budget,
+                });
+            }
+        }
+        if self.depth > self.max_depth {
+            self.max_depth = self.depth;
+        }
+        Ok(())
+    }
+
+    fn exit(&mut self) {
+        self.depth -= 1;
     }
 
     fn tracing(&self) -> bool {
@@ -132,7 +195,7 @@ impl EvalState {
 pub struct Rewriter<'a> {
     spec: &'a Spec,
     rules: RuleSet,
-    fuel: u64,
+    budget: Fuel,
     memo: Option<ShardedMemo>,
 }
 
@@ -201,17 +264,13 @@ impl Clone for ShardedMemo {
     }
 }
 
-/// Default fuel limit: generous for every workload in this repository
-/// while still catching circular axiom sets quickly.
-pub(crate) const DEFAULT_FUEL: u64 = 1_000_000;
-
 impl<'a> Rewriter<'a> {
     /// Creates a rewriter whose rules are the specification's axioms.
     pub fn new(spec: &'a Spec) -> Self {
         Rewriter {
             spec,
             rules: RuleSet::from_spec(spec),
-            fuel: DEFAULT_FUEL,
+            budget: Fuel::default(),
             memo: None,
         }
     }
@@ -222,7 +281,7 @@ impl<'a> Rewriter<'a> {
         Rewriter {
             spec,
             rules,
-            fuel: DEFAULT_FUEL,
+            budget: Fuel::default(),
             memo: None,
         }
     }
@@ -246,12 +305,24 @@ impl<'a> Rewriter<'a> {
         self
     }
 
-    /// Replaces the fuel limit (number of reduction steps allowed per
-    /// normalization).
+    /// Replaces the step budget (number of reduction steps allowed per
+    /// normalization), keeping any depth or deadline bound.
     #[must_use]
     pub fn with_fuel(mut self, fuel: u64) -> Self {
-        self.fuel = fuel;
+        self.budget.steps = fuel;
         self
+    }
+
+    /// Replaces the whole resource budget (steps, depth, deadline).
+    #[must_use]
+    pub fn with_budget(mut self, budget: Fuel) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// The resource budget in effect for each normalization.
+    pub fn budget(&self) -> Fuel {
+        self.budget
     }
 
     /// Adds an extra rule (tried after earlier rules with the same head).
@@ -273,9 +344,10 @@ impl<'a> Rewriter<'a> {
     ///
     /// # Errors
     ///
-    /// Returns [`RewriteError::FuelExhausted`] if no normal form is reached
-    /// within the fuel limit, or [`RewriteError::IllSorted`] if strict
-    /// error propagation needed the sort of an ill-sorted subterm.
+    /// Returns [`RewriteError::Exhausted`] if no normal form is reached
+    /// within the fuel budget (with a [`FuelSpent`] receipt saying which
+    /// bound tripped), or [`RewriteError::IllSorted`] if strict error
+    /// propagation needed the sort of an ill-sorted subterm.
     pub fn normalize(&self, term: &Term) -> Result<Term> {
         Ok(self.run(term, None, &Vec::new())?.0.term)
     }
@@ -296,7 +368,7 @@ impl<'a> Rewriter<'a> {
     /// As for [`Rewriter::normalize`].
     pub fn normalize_traced(&self, term: &Term) -> Result<(Term, Trace)> {
         let (norm, trace) = self.run(term, Some(Trace::new()), &Vec::new())?;
-        Ok((norm.term, trace.expect("trace was requested")))
+        Ok((norm.term, trace.unwrap_or_else(Trace::new)))
     }
 
     /// Normalizes a term under contextual truth assumptions about stuck
@@ -384,11 +456,7 @@ impl<'a> Rewriter<'a> {
         trace: Option<Trace>,
         asms: &Assumptions,
     ) -> Result<(Normalization, Option<Trace>)> {
-        let mut st = EvalState {
-            remaining: self.fuel,
-            steps: 0,
-            trace,
-        };
+        let mut st = EvalState::new(&self.budget, trace);
         if let Some(t) = &mut st.trace {
             t.set_initial(term);
         }
@@ -403,6 +471,13 @@ impl<'a> Rewriter<'a> {
     }
 
     fn eval(&self, term: Term, st: &mut EvalState, asms: &Assumptions) -> Result<Term> {
+        st.enter(&self.budget)?;
+        let result = self.eval_memo(term, st, asms);
+        st.exit();
+        result
+    }
+
+    fn eval_memo(&self, term: Term, st: &mut EvalState, asms: &Assumptions) -> Result<Term> {
         // Ground-subterm memoization (see `memoizing`): only applications
         // are worth caching, and only outside assumption contexts and
         // traces.
@@ -420,11 +495,8 @@ impl<'a> Rewriter<'a> {
             _ => None,
         };
         let result = self.eval_loop(term, st, asms)?;
-        if let Some(key) = memo_key {
-            self.memo
-                .as_ref()
-                .expect("key only exists when memoizing")
-                .insert(key, result.clone());
+        if let (Some(memo), Some(key)) = (&self.memo, memo_key) {
+            memo.insert(key, result.clone());
         }
         Ok(result)
     }
@@ -450,7 +522,7 @@ impl<'a> Rewriter<'a> {
                         lookup(asms, &cond)
                     };
                     if let Some(value) = decided {
-                        st.tick(self.fuel)?;
+                        st.tick(&self.budget)?;
                         if st.tracing() {
                             let redex =
                                 Term::ite(cond.clone(), then_branch.clone(), else_branch.clone());
@@ -462,7 +534,7 @@ impl<'a> Rewriter<'a> {
                         continue;
                     }
                     if cond.is_error() {
-                        st.tick(self.fuel)?;
+                        st.tick(&self.budget)?;
                         let sort = then_branch.sort(self.spec.sig())?;
                         let result = Term::Error(sort);
                         if st.tracing() {
@@ -473,7 +545,7 @@ impl<'a> Rewriter<'a> {
                     }
                     // Stuck condition that is itself a conditional: lift it.
                     if let Term::Ite(inner) = cond {
-                        st.tick(self.fuel)?;
+                        st.tick(&self.budget)?;
                         let redex = if st.tracing() {
                             Some(Term::ite(
                                 Term::Ite(inner.clone()),
@@ -508,7 +580,7 @@ impl<'a> Rewriter<'a> {
                     else_asms.push((cond.clone(), false));
                     let e = self.eval(else_branch, st, &else_asms)?;
                     if t == e {
-                        st.tick(self.fuel)?;
+                        st.tick(&self.budget)?;
                         if st.tracing() {
                             let redex = Term::ite(cond.clone(), t.clone(), e.clone());
                             st.note("if-merge", &redex, &t);
@@ -517,7 +589,7 @@ impl<'a> Rewriter<'a> {
                     }
                     let sig = self.spec.sig();
                     if t == sig.tt() && e == sig.ff() {
-                        st.tick(self.fuel)?;
+                        st.tick(&self.budget)?;
                         if st.tracing() {
                             let redex = Term::ite(cond.clone(), t, e);
                             st.note("if-eta", &redex, &cond);
@@ -534,8 +606,8 @@ impl<'a> Rewriter<'a> {
                     // Strict error propagation: any operation applied to an
                     // argument list containing error is error (paper, §3).
                     if new_args.iter().any(Term::is_error) {
-                        st.tick(self.fuel)?;
-                        let result = Term::Error(self.spec.sig().op(op).result());
+                        st.tick(&self.budget)?;
+                        let result = Term::Error(self.spec.sig().try_op(op)?.result());
                         if st.tracing() {
                             let redex = Term::App(op, new_args);
                             st.note("strict", &redex, &result);
@@ -547,11 +619,12 @@ impl<'a> Rewriter<'a> {
                     // out: f(…, if c then x else y, …) becomes
                     // if c then f(…, x, …) else f(…, y, …). Sound for all
                     // values of c (true, false, and error, by strictness).
-                    if let Some(idx) = new_args.iter().position(|a| matches!(a, Term::Ite(_))) {
-                        st.tick(self.fuel)?;
-                        let Term::Ite(inner) = new_args[idx].clone() else {
-                            unreachable!("position() just found an Ite");
-                        };
+                    let stuck_arg = new_args.iter().enumerate().find_map(|(idx, a)| match a {
+                        Term::Ite(inner) => Some((idx, inner.clone())),
+                        _ => None,
+                    });
+                    if let Some((idx, inner)) = stuck_arg {
+                        st.tick(&self.budget)?;
                         let mut then_args = new_args.clone();
                         then_args[idx] = inner.then_branch.clone();
                         let mut else_args = new_args.clone();
@@ -578,7 +651,7 @@ impl<'a> Rewriter<'a> {
                     }
                     match fired {
                         Some((rule, subst)) => {
-                            st.tick(self.fuel)?;
+                            st.tick(&self.budget)?;
                             let contractum = subst.apply(rule.rhs());
                             if st.tracing() {
                                 st.note(rule.label(), &subject, &contractum);
@@ -928,22 +1001,69 @@ mod tests {
         }
     }
 
-    #[test]
-    fn fuel_exhaustion_is_detected() {
+    /// The circular specification F(x) = F(x): never reaches a normal form.
+    fn loop_spec() -> Spec {
         let mut b = SpecBuilder::new("Loop");
         let s = b.sort("S");
-        let c = b.ctor("C", [], s);
+        let _c = b.ctor("C", [], s);
         let f = b.op("F", [s], s);
         let x: VarId = b.var("x", s);
-        // F(x) = F(x): circular.
         b.axiom("loop", b.app(f, [Term::Var(x)]), b.app(f, [Term::Var(x)]));
-        let spec = b.build().unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_detected_at_exactly_the_budget() {
+        let spec = loop_spec();
         let rw = Rewriter::new(&spec).with_fuel(100);
-        let t = spec.sig().apply("F", vec![Term::App(c, vec![])]).unwrap();
-        assert_eq!(
-            rw.normalize(&t),
-            Err(RewriteError::FuelExhausted { limit: 100 })
-        );
+        let t = spec.sig().apply("F", vec![q(&spec, "C", vec![])]).unwrap();
+        match rw.normalize(&t) {
+            Err(RewriteError::Exhausted { spent, budget }) => {
+                assert_eq!(spent.cause, adt_core::ExhaustionCause::Steps);
+                assert_eq!(spent.steps, 100, "spent equals the budget exactly");
+                assert_eq!(budget.steps, 100);
+            }
+            other => panic!("expected step exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn depth_bound_trips_on_deep_terms() {
+        let spec = queue_spec();
+        let rw = Rewriter::new(&spec).with_budget(Fuel::default().with_max_depth(4));
+        // Nest ADDs deeper than the bound allows.
+        let mut t = q(&spec, "NEW", vec![]);
+        for _ in 0..8 {
+            t = q(&spec, "ADD", vec![t, q(&spec, "A", vec![])]);
+        }
+        let front = q(&spec, "FRONT", vec![t]);
+        match rw.normalize(&front) {
+            Err(RewriteError::Exhausted { spent, .. }) => {
+                assert_eq!(spent.cause, adt_core::ExhaustionCause::Depth);
+                assert_eq!(spent.depth, 4, "receipt records the deepest level seen");
+            }
+            other => panic!("expected depth exhaustion, got {other:?}"),
+        }
+        // A shallow term still normalizes under the same budget.
+        let shallow = q(&spec, "IS_EMPTY?", vec![q(&spec, "NEW", vec![])]);
+        assert_eq!(rw.normalize(&shallow).unwrap(), spec.sig().tt());
+    }
+
+    #[test]
+    fn deadline_trips_on_divergence() {
+        use std::time::Duration;
+        let spec = loop_spec();
+        // An already-expired deadline with ample steps: the divergent
+        // term must stop at the first deadline poll.
+        let rw =
+            Rewriter::new(&spec).with_budget(Fuel::default().with_deadline(Duration::ZERO));
+        let t = spec.sig().apply("F", vec![q(&spec, "C", vec![])]).unwrap();
+        match rw.normalize(&t) {
+            Err(RewriteError::Exhausted { spent, .. }) => {
+                assert_eq!(spent.cause, adt_core::ExhaustionCause::Deadline);
+            }
+            other => panic!("expected deadline exhaustion, got {other:?}"),
+        }
     }
 
     #[test]

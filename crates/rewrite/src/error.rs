@@ -3,16 +3,24 @@
 use std::error::Error;
 use std::fmt;
 
+use adt_core::{EngineError, ExhaustionCause, Fuel, FuelSpent};
+
 /// Errors raised during normalization.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum RewriteError {
-    /// The fuel limit was reached before a normal form. Either the axiom
-    /// set is non-terminating on this term (e.g. a circular equation) or
-    /// the limit is simply too small for the input.
-    FuelExhausted {
-        /// The configured maximum number of rule applications.
-        limit: u64,
+    /// The fuel budget ran out before a normal form was reached. Either
+    /// the axiom set is non-terminating on this term (e.g. a circular
+    /// equation) or the budget is simply too small for the input.
+    ///
+    /// The receipt says exactly what was spent and which bound tripped;
+    /// when `spent.cause == Steps`, `spent.steps` equals the configured
+    /// step budget exactly, on every job count.
+    Exhausted {
+        /// What was consumed before the budget ran out.
+        spent: FuelSpent,
+        /// The budget that was configured.
+        budget: Fuel,
     },
     /// A term was ill-sorted where the engine needed its sort (strict
     /// `error` propagation requires the result sort of a poisoned
@@ -27,22 +35,50 @@ pub enum RewriteError {
         /// Human-readable description.
         detail: String,
     },
+    /// A structural fault inside the engine itself (dangling id, poisoned
+    /// lock) surfaced as a value instead of a panic.
+    Engine(EngineError),
+}
+
+impl RewriteError {
+    /// The fuel receipt, if this error reports budget exhaustion.
+    pub fn exhaustion(&self) -> Option<FuelSpent> {
+        match self {
+            RewriteError::Exhausted { spent, .. } => Some(*spent),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for RewriteError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RewriteError::FuelExhausted { limit } => write!(
-                f,
-                "normalization exceeded the fuel limit of {limit} rule applications \
-                 (non-terminating axiom set, or raise the limit with `with_fuel`)"
-            ),
+            RewriteError::Exhausted { spent, budget } => match spent.cause {
+                ExhaustionCause::Steps => write!(
+                    f,
+                    "normalization exhausted its budget of {} rewrite step(s) \
+                     (non-terminating axiom set, or raise the limit with `with_fuel`)",
+                    budget.steps
+                ),
+                ExhaustionCause::Depth => write!(
+                    f,
+                    "normalization exceeded the depth bound of {} after {} step(s)",
+                    budget.max_depth.unwrap_or(spent.depth),
+                    spent.steps
+                ),
+                ExhaustionCause::Deadline => write!(
+                    f,
+                    "normalization hit its wall-clock deadline after {} step(s)",
+                    spent.steps
+                ),
+            },
             RewriteError::IllSorted { detail } => {
                 write!(f, "term became ill-sorted during rewriting: {detail}")
             }
             RewriteError::Session { detail } => {
                 write!(f, "symbolic session error: {detail}")
             }
+            RewriteError::Engine(e) => write!(f, "engine fault: {e}"),
         }
     }
 }
@@ -57,14 +93,32 @@ impl From<adt_core::CoreError> for RewriteError {
     }
 }
 
+impl From<EngineError> for RewriteError {
+    fn from(e: EngineError) -> Self {
+        RewriteError::Engine(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn display_mentions_fuel_limit() {
-        let e = RewriteError::FuelExhausted { limit: 42 };
+    fn display_mentions_step_budget() {
+        let e = RewriteError::Exhausted {
+            spent: FuelSpent {
+                steps: 42,
+                depth: 3,
+                cause: ExhaustionCause::Steps,
+            },
+            budget: Fuel::steps(42),
+        };
         assert!(e.to_string().contains("42"));
+        assert_eq!(
+            e.exhaustion().map(|s| s.steps),
+            Some(42),
+            "receipt is recoverable from the error"
+        );
     }
 
     #[test]
@@ -75,5 +129,14 @@ mod tests {
         };
         let e: RewriteError = core.into();
         assert!(matches!(e, RewriteError::IllSorted { .. }));
+    }
+
+    #[test]
+    fn engine_errors_convert() {
+        let e: RewriteError = EngineError::LockPoisoned {
+            what: "memo shard".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("memo shard"));
     }
 }

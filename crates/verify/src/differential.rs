@@ -18,8 +18,10 @@
 //!   expected results, so a FIFO model passes against the Queue axioms
 //!   while a LIFO model is caught on the first `FRONT(ADD(ADD(…)))`.
 
-use adt_check::{check_completeness_jobs, check_consistency_jobs, ProbeConfig};
-use adt_core::{display, Spec};
+use adt_check::{
+    check_completeness_with_config, check_consistency_with_config, CheckConfig, ProbeConfig,
+};
+use adt_core::{display, Fuel, Spec};
 use adt_rewrite::Rewriter;
 
 use crate::eval::eval_ground;
@@ -37,6 +39,9 @@ pub struct DifferentialConfig {
     pub jobs: usize,
     /// Probe configuration used by both consistency runs.
     pub probe: ProbeConfig,
+    /// Resource budget applied to every checker run and to the
+    /// rewriter-vs-model oracle's normalizations.
+    pub fuel: Fuel,
 }
 
 impl Default for DifferentialConfig {
@@ -46,6 +51,7 @@ impl Default for DifferentialConfig {
             cap_per_op: 50,
             jobs: 4,
             probe: ProbeConfig::default(),
+            fuel: Fuel::default(),
         }
     }
 }
@@ -105,9 +111,11 @@ impl DifferentialReport {
 /// between the two reports.
 pub fn differential_spec_check(spec: &Spec, cfg: &DifferentialConfig) -> DifferentialReport {
     let mut diffs = Vec::new();
+    let seq_cfg = CheckConfig::jobs(1).with_fuel(cfg.fuel);
+    let par_cfg = CheckConfig::jobs(cfg.jobs).with_fuel(cfg.fuel);
 
-    let comp_seq = check_completeness_jobs(spec, 1);
-    let comp_par = check_completeness_jobs(spec, cfg.jobs);
+    let comp_seq = check_completeness_with_config(spec, &seq_cfg);
+    let comp_par = check_completeness_with_config(spec, &par_cfg);
     if comp_seq.is_sufficiently_complete() != comp_par.is_sufficiently_complete() {
         diffs.push(format!(
             "completeness verdict: sequential {} vs parallel {}",
@@ -122,8 +130,8 @@ pub fn differential_spec_check(spec: &Spec, cfg: &DifferentialConfig) -> Differe
         diffs.push("completeness prompts differ".to_owned());
     }
 
-    let cons_seq = check_consistency_jobs(spec, &cfg.probe, 1);
-    let cons_par = check_consistency_jobs(spec, &cfg.probe, cfg.jobs);
+    let cons_seq = check_consistency_with_config(spec, &cfg.probe, &seq_cfg);
+    let cons_par = check_consistency_with_config(spec, &cfg.probe, &par_cfg);
     if cons_seq.is_consistent() != cons_par.is_consistent() {
         diffs.push(format!(
             "consistency verdict: sequential {} vs parallel {}",
@@ -133,6 +141,11 @@ pub fn differential_spec_check(spec: &Spec, cfg: &DifferentialConfig) -> Differe
     }
     if cons_seq.contradictions() != cons_par.contradictions() {
         diffs.push("contradiction lists differ".to_owned());
+    }
+    if cons_seq.pair_verdicts() != cons_par.pair_verdicts()
+        || cons_seq.probe_verdicts() != cons_par.probe_verdicts()
+    {
+        diffs.push("per-item verdict vectors differ".to_owned());
     }
     if cons_seq.summary() != cons_par.summary() {
         diffs.push(format!(
@@ -166,7 +179,7 @@ pub fn differential_check(
     let mut report = differential_spec_check(spec, cfg);
 
     let sig = spec.sig();
-    let rw = Rewriter::new(spec);
+    let rw = Rewriter::new(spec).with_budget(cfg.fuel);
     let terms = enumerate_terms(sig, cfg.max_arg_depth, cfg.cap_per_op);
     for t in &terms {
         let rendered = display::term(sig, t).to_string();

@@ -28,6 +28,10 @@
 //!   must be *invariant under rewriting* (`eval(t) ≡ eval(nf(t))`) — the
 //!   axioms supply both the test cases and the expected results — while
 //!   the parallel and sequential checkers must return identical reports.
+//! * [`fault_isolation_check`] — robustness differential: inject worker
+//!   panics, fuel exhaustion and slow chunks ([`parse_fault_plan`]) into
+//!   the checking engine and verify that every *non-faulted* work item's
+//!   verdict is byte-identical to a fault-free run.
 //! * [`translate_obligations`] / [`verify_obligation`] — the §4 proof
 //!   itself: translate each abstract axiom through the implementation
 //!   (primed operations) and Φ, then prove the two sides equal with case
@@ -43,6 +47,7 @@
 mod axiom_check;
 mod differential;
 mod eval;
+mod fault;
 mod gen;
 mod homomorphism;
 mod induction;
@@ -58,6 +63,10 @@ pub use differential::{
     OracleMismatch,
 };
 pub use eval::{eval_ground, eval_with_env};
+pub use fault::{
+    fault_isolation_check, parse_fault_plan, FaultIsolationReport, IsolationMismatch,
+    PhaseIsolation,
+};
 pub use gen::{enumerate_ctor_terms, enumerate_terms, sample_ctor_term, TermPool};
 pub use homomorphism::{check_representation, RepCheckConfig, RepCheckReport, RepMismatch};
 pub use induction::{instantiate_case, prove_by_induction, with_lemma, InductionOutcome};
