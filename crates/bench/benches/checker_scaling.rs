@@ -16,35 +16,8 @@
 //! since the hardware cannot exhibit the parallelism.
 
 use adt_bench::harness::Group;
+use adt_bench::workloads::synthetic_spec as synthetic;
 use adt_check::{check_completeness, check_completeness_jobs, check_consistency_jobs, ProbeConfig};
-use adt_core::{Spec, SpecBuilder, Term};
-
-/// Builds a complete synthetic spec with `ctors` constructors and `obs`
-/// observers.
-fn synthetic(ctors: usize, obs: usize) -> Spec {
-    let mut b = SpecBuilder::new("Synthetic");
-    let s = b.sort("S");
-    let mut ctor_ids = Vec::new();
-    // One nullary base constructor plus `ctors-1` unary ones.
-    ctor_ids.push((b.ctor("C0", [], s), 0usize));
-    for k in 1..ctors {
-        ctor_ids.push((b.ctor(&format!("C{k}"), [s], s), 1));
-    }
-    let x = Term::Var(b.var("x", s));
-    for o in 0..obs {
-        let op = b.op(&format!("OBS{o}?"), [s], b.bool_sort());
-        for (k, &(ctor, arity)) in ctor_ids.iter().enumerate() {
-            let lhs = if arity == 0 {
-                b.app(op, [b.app(ctor, [])])
-            } else {
-                b.app(op, [b.app(ctor, [x.clone()])])
-            };
-            let rhs = if (o + k) % 2 == 0 { b.tt() } else { b.ff() };
-            b.axiom(format!("a{o}_{k}"), lhs, rhs);
-        }
-    }
-    b.build().expect("synthetic specs are well-formed")
-}
 
 fn main() {
     let group = Group::new("checker_scaling");

@@ -182,11 +182,487 @@ pub mod harness {
     }
 }
 
+pub mod report {
+    //! Machine-readable benchmark reports (`BENCH_rewrite.json`).
+    //!
+    //! The runner binary (`cargo run -p adt-bench`) measures a fixed set
+    //! of benchmarks and emits them in a small, hand-rolled JSON dialect —
+    //! flat enough that this module can also parse it back without a JSON
+    //! dependency. Two readers exist: the runner's `--baseline` regression
+    //! gate (CI), and humans diffing the committed baseline at the repo
+    //! root.
+
+    use std::fmt::Write as _;
+
+    /// One measured benchmark row.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct BenchRecord {
+        /// Benchmark group (`"memoization"`, `"rewrite_queue"`, …).
+        pub group: String,
+        /// Label within the group (`"front/128"`, …).
+        pub name: String,
+        /// Median per-iteration time of the current engine, nanoseconds.
+        pub median_ns: u64,
+        /// Median of the pre-arena engine, if this file carries a
+        /// before/after comparison.
+        pub before_ns: Option<u64>,
+        /// Iterations per sample the harness settled on.
+        pub iters: u64,
+        /// Samples taken.
+        pub samples: u32,
+    }
+
+    impl BenchRecord {
+        /// `before_ns / median_ns`, if a before measurement is present.
+        pub fn speedup(&self) -> Option<f64> {
+            self.before_ns
+                .map(|b| b as f64 / (self.median_ns.max(1)) as f64)
+        }
+
+        /// The `group/name` key used for baseline comparisons.
+        pub fn key(&self) -> String {
+            format!("{}/{}", self.group, self.name)
+        }
+    }
+
+    /// A full report: schema tag, measurement profile, rows.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct BenchReport {
+        /// Schema identifier (`"adt-bench/v1"`).
+        pub schema: String,
+        /// `"full"` or `"quick"` (the `ADT_BENCH_QUICK` profile).
+        pub profile: String,
+        /// Measured rows.
+        pub benchmarks: Vec<BenchRecord>,
+    }
+
+    impl BenchReport {
+        /// Current schema tag.
+        pub const SCHEMA: &'static str = "adt-bench/v1";
+
+        /// Creates an empty report for the given profile.
+        pub fn new(profile: &str) -> Self {
+            BenchReport {
+                schema: Self::SCHEMA.to_string(),
+                profile: profile.to_string(),
+                benchmarks: Vec::new(),
+            }
+        }
+
+        /// Looks a row up by `group/name` key.
+        pub fn find(&self, key: &str) -> Option<&BenchRecord> {
+            self.benchmarks.iter().find(|b| b.key() == key)
+        }
+
+        /// Copies `before.median_ns` into `self.before_ns` for every row
+        /// present in both reports (the before/after merge the committed
+        /// baseline carries).
+        pub fn merge_before(&mut self, before: &BenchReport) {
+            for row in &mut self.benchmarks {
+                if let Some(prev) = before
+                    .benchmarks
+                    .iter()
+                    .find(|b| b.group == row.group && b.name == row.name)
+                {
+                    row.before_ns = Some(prev.median_ns);
+                }
+            }
+        }
+
+        /// Renders the report as pretty-printed JSON.
+        pub fn to_json(&self) -> String {
+            let mut out = String::new();
+            out.push_str("{\n");
+            let _ = writeln!(out, "  \"schema\": \"{}\",", escape(&self.schema));
+            let _ = writeln!(out, "  \"profile\": \"{}\",", escape(&self.profile));
+            out.push_str("  \"benchmarks\": [\n");
+            for (i, b) in self.benchmarks.iter().enumerate() {
+                out.push_str("    {\n");
+                let _ = writeln!(out, "      \"group\": \"{}\",", escape(&b.group));
+                let _ = writeln!(out, "      \"name\": \"{}\",", escape(&b.name));
+                if let Some(before) = b.before_ns {
+                    let _ = writeln!(out, "      \"before_ns\": {before},");
+                }
+                let _ = writeln!(out, "      \"median_ns\": {},", b.median_ns);
+                if let Some(speedup) = b.speedup() {
+                    let _ = writeln!(out, "      \"speedup\": {speedup:.2},");
+                }
+                let _ = writeln!(out, "      \"iters\": {},", b.iters);
+                let _ = writeln!(out, "      \"samples\": {}", b.samples);
+                out.push_str(if i + 1 == self.benchmarks.len() {
+                    "    }\n"
+                } else {
+                    "    },\n"
+                });
+            }
+            out.push_str("  ]\n}\n");
+            out
+        }
+
+        /// Parses a report previously produced by [`BenchReport::to_json`].
+        ///
+        /// # Errors
+        ///
+        /// Returns a human-readable message for malformed input or an
+        /// unknown schema tag.
+        pub fn from_json(text: &str) -> Result<Self, String> {
+            let value = json::parse(text)?;
+            let obj = value.as_object().ok_or("top level is not an object")?;
+            let schema = json::get_str(obj, "schema")?;
+            if schema != Self::SCHEMA {
+                return Err(format!(
+                    "unknown schema `{schema}` (expected `{}`)",
+                    Self::SCHEMA
+                ));
+            }
+            let profile = json::get_str(obj, "profile")?;
+            let rows = json::get(obj, "benchmarks")?
+                .as_array()
+                .ok_or("`benchmarks` is not an array")?;
+            let mut benchmarks = Vec::with_capacity(rows.len());
+            for row in rows {
+                let row = row.as_object().ok_or("benchmark row is not an object")?;
+                benchmarks.push(BenchRecord {
+                    group: json::get_str(row, "group")?,
+                    name: json::get_str(row, "name")?,
+                    median_ns: json::get_u64(row, "median_ns")?,
+                    before_ns: json::get(row, "before_ns")
+                        .ok()
+                        .and_then(json::Value::as_u64),
+                    iters: json::get_u64(row, "iters")?,
+                    samples: u32::try_from(json::get_u64(row, "samples")?)
+                        .map_err(|_| "`samples` out of range".to_string())?,
+                });
+            }
+            Ok(BenchReport {
+                schema,
+                profile,
+                benchmarks,
+            })
+        }
+    }
+
+    /// One benchmark that got slower than the baseline allows.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Regression {
+        /// `group/name` of the offending benchmark.
+        pub key: String,
+        /// Baseline median, nanoseconds.
+        pub baseline_ns: u64,
+        /// Fresh median, nanoseconds.
+        pub fresh_ns: u64,
+        /// `fresh / baseline`.
+        pub factor: f64,
+    }
+
+    /// Compares a fresh run against a committed baseline: every benchmark
+    /// present in both whose fresh median exceeds `max_regress ×` the
+    /// baseline median is reported. Benchmarks present in only one report
+    /// are ignored (adding or retiring a benchmark is not a regression).
+    pub fn regressions(
+        fresh: &BenchReport,
+        baseline: &BenchReport,
+        max_regress: f64,
+    ) -> Vec<Regression> {
+        let mut out = Vec::new();
+        for f in &fresh.benchmarks {
+            let Some(b) = baseline.find(&f.key()) else {
+                continue;
+            };
+            let factor = f.median_ns as f64 / b.median_ns.max(1) as f64;
+            if factor > max_regress {
+                out.push(Regression {
+                    key: f.key(),
+                    baseline_ns: b.median_ns,
+                    fresh_ns: f.median_ns,
+                    factor,
+                });
+            }
+        }
+        out
+    }
+
+    fn escape(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                c if (c as u32) < 0x20 => vec![' '],
+                c => vec![c],
+            })
+            .collect()
+    }
+
+    mod json {
+        //! A parser for the JSON subset [`super::BenchReport::to_json`]
+        //! emits: objects, arrays, strings without exotic escapes,
+        //! unsigned/float numbers.
+
+        use std::collections::BTreeMap;
+
+        #[derive(Debug, Clone, PartialEq)]
+        pub enum Value {
+            Object(BTreeMap<String, Value>),
+            Array(Vec<Value>),
+            String(String),
+            Number(f64),
+        }
+
+        impl Value {
+            pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
+                match self {
+                    Value::Object(m) => Some(m),
+                    _ => None,
+                }
+            }
+
+            pub fn as_array(&self) -> Option<&Vec<Value>> {
+                match self {
+                    Value::Array(a) => Some(a),
+                    _ => None,
+                }
+            }
+
+            pub fn as_u64(&self) -> Option<u64> {
+                match self {
+                    Value::Number(n) if *n >= 0.0 => Some(*n as u64),
+                    _ => None,
+                }
+            }
+        }
+
+        pub fn get<'a>(
+            obj: &'a BTreeMap<String, Value>,
+            key: &str,
+        ) -> Result<&'a Value, String> {
+            obj.get(key).ok_or_else(|| format!("missing key `{key}`"))
+        }
+
+        pub fn get_str(obj: &BTreeMap<String, Value>, key: &str) -> Result<String, String> {
+            match get(obj, key)? {
+                Value::String(s) => Ok(s.clone()),
+                _ => Err(format!("`{key}` is not a string")),
+            }
+        }
+
+        pub fn get_u64(obj: &BTreeMap<String, Value>, key: &str) -> Result<u64, String> {
+            get(obj, key)?
+                .as_u64()
+                .ok_or_else(|| format!("`{key}` is not an unsigned number"))
+        }
+
+        pub fn parse(text: &str) -> Result<Value, String> {
+            let mut p = Parser {
+                bytes: text.as_bytes(),
+                pos: 0,
+            };
+            let v = p.value()?;
+            p.skip_ws();
+            if p.pos != p.bytes.len() {
+                return Err(format!("trailing input at byte {}", p.pos));
+            }
+            Ok(v)
+        }
+
+        struct Parser<'a> {
+            bytes: &'a [u8],
+            pos: usize,
+        }
+
+        impl Parser<'_> {
+            fn skip_ws(&mut self) {
+                while self
+                    .bytes
+                    .get(self.pos)
+                    .is_some_and(|b| b.is_ascii_whitespace())
+                {
+                    self.pos += 1;
+                }
+            }
+
+            fn peek(&mut self) -> Result<u8, String> {
+                self.skip_ws();
+                self.bytes
+                    .get(self.pos)
+                    .copied()
+                    .ok_or_else(|| "unexpected end of input".to_string())
+            }
+
+            fn expect(&mut self, b: u8) -> Result<(), String> {
+                let got = self.peek()?;
+                if got != b {
+                    return Err(format!(
+                        "expected `{}` at byte {}, found `{}`",
+                        b as char, self.pos, got as char
+                    ));
+                }
+                self.pos += 1;
+                Ok(())
+            }
+
+            fn value(&mut self) -> Result<Value, String> {
+                match self.peek()? {
+                    b'{' => self.object(),
+                    b'[' => self.array(),
+                    b'"' => Ok(Value::String(self.string()?)),
+                    b'0'..=b'9' | b'-' => self.number(),
+                    other => Err(format!(
+                        "unexpected `{}` at byte {}",
+                        other as char, self.pos
+                    )),
+                }
+            }
+
+            fn object(&mut self) -> Result<Value, String> {
+                self.expect(b'{')?;
+                let mut map = BTreeMap::new();
+                if self.peek()? == b'}' {
+                    self.pos += 1;
+                    return Ok(Value::Object(map));
+                }
+                loop {
+                    let key = self.string()?;
+                    self.expect(b':')?;
+                    let value = self.value()?;
+                    map.insert(key, value);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b'}' => {
+                            self.pos += 1;
+                            return Ok(Value::Object(map));
+                        }
+                        other => {
+                            return Err(format!(
+                                "expected `,` or `}}` at byte {}, found `{}`",
+                                self.pos, other as char
+                            ))
+                        }
+                    }
+                }
+            }
+
+            fn array(&mut self) -> Result<Value, String> {
+                self.expect(b'[')?;
+                let mut items = Vec::new();
+                if self.peek()? == b']' {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.value()?);
+                    match self.peek()? {
+                        b',' => self.pos += 1,
+                        b']' => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        other => {
+                            return Err(format!(
+                                "expected `,` or `]` at byte {}, found `{}`",
+                                self.pos, other as char
+                            ))
+                        }
+                    }
+                }
+            }
+
+            fn string(&mut self) -> Result<String, String> {
+                self.expect(b'"')?;
+                let mut out = String::new();
+                loop {
+                    match self.bytes.get(self.pos) {
+                        None => return Err("unterminated string".to_string()),
+                        Some(b'"') => {
+                            self.pos += 1;
+                            return Ok(out);
+                        }
+                        Some(b'\\') => {
+                            let escaped = self
+                                .bytes
+                                .get(self.pos + 1)
+                                .ok_or("unterminated escape")?;
+                            match escaped {
+                                b'"' => out.push('"'),
+                                b'\\' => out.push('\\'),
+                                other => {
+                                    return Err(format!(
+                                        "unsupported escape `\\{}`",
+                                        *other as char
+                                    ))
+                                }
+                            }
+                            self.pos += 2;
+                        }
+                        Some(&b) => {
+                            // Multi-byte UTF-8 sequences pass through
+                            // byte-by-byte; the input was a valid &str.
+                            let start = self.pos;
+                            let mut end = self.pos + 1;
+                            if b >= 0x80 {
+                                while self.bytes.get(end).is_some_and(|&n| n & 0xC0 == 0x80) {
+                                    end += 1;
+                                }
+                            }
+                            out.push_str(
+                                std::str::from_utf8(&self.bytes[start..end])
+                                    .map_err(|_| "invalid UTF-8 in string".to_string())?,
+                            );
+                            self.pos = end;
+                        }
+                    }
+                }
+            }
+
+            fn number(&mut self) -> Result<Value, String> {
+                self.skip_ws();
+                let start = self.pos;
+                while self.bytes.get(self.pos).is_some_and(|b| {
+                    b.is_ascii_digit() || matches!(b, b'.' | b'-' | b'+' | b'e' | b'E')
+                }) {
+                    self.pos += 1;
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .map(Value::Number)
+                    .ok_or_else(|| format!("malformed number at byte {start}"))
+            }
+        }
+    }
+}
+
 pub mod workloads {
     //! Deterministic pseudo-random workloads over symbol tables, arrays
     //! and queues.
 
-    use adt_core::{Spec, Term};
+    use adt_core::{Spec, SpecBuilder, Term};
+
+    /// Builds a complete synthetic spec with `ctors` constructors (one
+    /// nullary, the rest unary-recursive) and `obs` observers, each fully
+    /// case-covered — the family the checker-scaling benchmarks measure.
+    pub fn synthetic_spec(ctors: usize, obs: usize) -> Spec {
+        let mut b = SpecBuilder::new("Synthetic");
+        let s = b.sort("S");
+        let mut ctor_ids = Vec::new();
+        ctor_ids.push((b.ctor("C0", [], s), 0usize));
+        for k in 1..ctors {
+            ctor_ids.push((b.ctor(&format!("C{k}"), [s], s), 1));
+        }
+        let x = Term::Var(b.var("x", s));
+        for o in 0..obs {
+            let op = b.op(&format!("OBS{o}?"), [s], b.bool_sort());
+            for (k, &(ctor, arity)) in ctor_ids.iter().enumerate() {
+                let lhs = if arity == 0 {
+                    b.app(op, [b.app(ctor, [])])
+                } else {
+                    b.app(op, [b.app(ctor, [x.clone()])])
+                };
+                let rhs = if (o + k) % 2 == 0 { b.tt() } else { b.ff() };
+                b.axiom(format!("a{o}_{k}"), lhs, rhs);
+            }
+        }
+        b.build().expect("synthetic specs are well-formed")
+    }
 
     /// One symbol-table operation of a compiler-like trace.
     #[derive(Debug, Clone, PartialEq, Eq)]
@@ -388,6 +864,88 @@ mod tests {
         let names = ident_names(100);
         let set: std::collections::HashSet<_> = names.iter().collect();
         assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn synthetic_specs_are_complete() {
+        use adt_check::check_completeness;
+        let spec = synthetic_spec(4, 8);
+        assert!(check_completeness(&spec).is_sufficiently_complete());
+    }
+
+    mod report {
+        use crate::report::{regressions, BenchRecord, BenchReport};
+
+        fn row(group: &str, name: &str, median_ns: u64) -> BenchRecord {
+            BenchRecord {
+                group: group.to_string(),
+                name: name.to_string(),
+                median_ns,
+                before_ns: None,
+                iters: 100,
+                samples: 10,
+            }
+        }
+
+        fn sample_report() -> BenchReport {
+            let mut r = BenchReport::new("full");
+            r.benchmarks.push(row("rewrite_queue", "front/128", 5_000));
+            r.benchmarks.push(row("memoization", "queries_memo/32", 900));
+            r.benchmarks[1].before_ns = Some(2_700);
+            r
+        }
+
+        #[test]
+        fn json_round_trips() {
+            let report = sample_report();
+            let text = report.to_json();
+            let parsed = BenchReport::from_json(&text).expect("parses");
+            assert_eq!(parsed, report);
+        }
+
+        #[test]
+        fn speedup_is_before_over_after() {
+            let report = sample_report();
+            assert_eq!(report.benchmarks[0].speedup(), None);
+            let s = report.benchmarks[1].speedup().expect("has before");
+            assert!((s - 3.0).abs() < 1e-9, "got {s}");
+        }
+
+        #[test]
+        fn merge_before_fills_matching_rows_only() {
+            let mut after = sample_report();
+            after.benchmarks.push(row("rewrite_queue", "drain/64", 10));
+            let mut before = BenchReport::new("full");
+            before.benchmarks.push(row("rewrite_queue", "front/128", 20_000));
+            after.merge_before(&before);
+            assert_eq!(after.benchmarks[0].before_ns, Some(20_000));
+            // Untouched: no matching row in `before`.
+            assert_eq!(after.benchmarks[2].before_ns, None);
+        }
+
+        #[test]
+        fn regressions_flag_only_slowdowns_past_threshold() {
+            let baseline = sample_report();
+            let mut fresh = sample_report();
+            fresh.benchmarks[0].median_ns = 11_000; // 2.2x slower
+            fresh.benchmarks[1].median_ns = 1_700; // 1.89x slower
+            fresh.benchmarks.push(row("new", "bench/1", 1)); // not in baseline
+            let regs = regressions(&fresh, &baseline, 2.0);
+            assert_eq!(regs.len(), 1);
+            assert_eq!(regs[0].key, "rewrite_queue/front/128");
+            assert!((regs[0].factor - 2.2).abs() < 1e-9);
+            assert!(regressions(&fresh, &baseline, 2.5).is_empty());
+        }
+
+        #[test]
+        fn from_json_rejects_malformed_input() {
+            assert!(BenchReport::from_json("").is_err());
+            assert!(BenchReport::from_json("[1, 2]").is_err());
+            assert!(BenchReport::from_json("{\"schema\": \"other/v9\"}").is_err());
+            let mut text = sample_report().to_json();
+            text.push('x');
+            assert!(BenchReport::from_json(&text).is_err());
+        }
     }
 
     mod harness {

@@ -1,0 +1,358 @@
+//! `cargo run -p adt-bench` — the fixed-seed benchmark runner behind the
+//! committed `BENCH_rewrite.json`.
+//!
+//! Measures a curated subset of the `benches/` workloads (memoization,
+//! rewrite_queue, checker_scaling — all deterministic, seed 7) and emits
+//! the medians as machine-readable JSON. CI runs this with `--quick
+//! --baseline BENCH_rewrite.json` to catch >2× regressions; the
+//! committed baseline itself is produced with `--merge-before` so it
+//! carries the pre-arena medians alongside the current ones.
+//!
+//! ```text
+//! adt-bench [--json PATH] [--baseline PATH] [--max-regress FACTOR]
+//!           [--merge-before PATH] [--quick]
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use adt_bench::harness::Group;
+use adt_bench::report::{regressions, BenchRecord, BenchReport};
+use adt_bench::workloads::{queue_term, synthetic_spec};
+use adt_check::{check_completeness_jobs, check_consistency_jobs, ProbeConfig};
+use adt_rewrite::Rewriter;
+use adt_structures::specs::queue_spec;
+
+const USAGE: &str = "\
+usage: adt-bench [options]
+
+options:
+  --json PATH          write the report as JSON to PATH (default: stdout)
+  --baseline PATH      compare against a committed report; exit non-zero
+                       if any shared benchmark regresses past the threshold
+  --max-regress FACTOR regression threshold for --baseline (default: 2.0)
+  --merge-before PATH  copy medians from a previous report into the
+                       `before_ns` field of matching benchmarks
+  --quick              ~10x smaller time budgets (smoke profile)
+  --help               print this help
+";
+
+#[derive(Debug, Default)]
+struct Options {
+    json: Option<String>,
+    baseline: Option<String>,
+    merge_before: Option<String>,
+    max_regress: f64,
+    quick: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut opts = Options {
+        max_regress: 2.0,
+        ..Options::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} requires a value"))
+        };
+        match arg.as_str() {
+            "--json" => opts.json = Some(value("--json")?),
+            "--baseline" => opts.baseline = Some(value("--baseline")?),
+            "--merge-before" => opts.merge_before = Some(value("--merge-before")?),
+            "--max-regress" => {
+                let raw = value("--max-regress")?;
+                let factor: f64 = raw
+                    .parse()
+                    .map_err(|_| format!("--max-regress: `{raw}` is not a number"))?;
+                if !(factor.is_finite() && factor >= 1.0) {
+                    return Err(format!("--max-regress must be >= 1.0, got {raw}"));
+                }
+                opts.max_regress = factor;
+            }
+            "--quick" => opts.quick = true,
+            "--help" | "-h" => return Ok(None),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+/// The fixed benchmark set. Labels match the interactive `benches/`
+/// programs so numbers are comparable; seeds and sizes are pinned so two
+/// runs on the same machine measure identical work.
+fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
+    let group = |name: &str| {
+        let g = Group::new(name);
+        if quick {
+            g.budget(Duration::from_millis(20), Duration::from_millis(90))
+        } else {
+            g
+        }
+    };
+    let mut rows: Vec<BenchRecord> = Vec::new();
+    let mut push = |group: &str, name: &str, m: adt_bench::harness::Measurement| {
+        rows.push(BenchRecord {
+            group: group.to_string(),
+            name: name.to_string(),
+            median_ns: u64::try_from(m.per_iter.as_nanos()).unwrap_or(u64::MAX),
+            before_ns: None,
+            iters: m.iters,
+            samples: m.samples,
+        });
+    };
+
+    let spec = queue_spec();
+    let sig = spec.sig();
+
+    // memoization: the overhead case (one FRONT over a fresh cache) and
+    // the amortized case (32 alternating observers over one shared state).
+    {
+        let g = group("memoization");
+        let n = 128;
+        let front = sig
+            .apply("FRONT", vec![queue_term(&spec, n, 0, 7)])
+            .expect("well-sorted");
+        let plain = Rewriter::new(&spec).with_fuel(1_000_000_000);
+        push(
+            "memoization",
+            &format!("single_plain/{n}"),
+            g.bench(&format!("single_plain/{n}"), || {
+                plain.normalize(std::hint::black_box(&front)).expect("normalizes")
+            }),
+        );
+        push(
+            "memoization",
+            &format!("single_memo/{n}"),
+            g.bench_batched(
+                &format!("single_memo/{n}"),
+                || Rewriter::new(&spec).with_fuel(1_000_000_000).memoizing(),
+                |rw| rw.normalize(std::hint::black_box(&front)).expect("normalizes"),
+            ),
+        );
+
+        let queries = 32;
+        let state = queue_term(&spec, 64, 32, 7);
+        let observations: Vec<_> = (0..queries)
+            .map(|k| {
+                let op = if k % 2 == 0 { "FRONT" } else { "IS_EMPTY?" };
+                sig.apply(op, vec![state.clone()]).expect("well-sorted")
+            })
+            .collect();
+        push(
+            "memoization",
+            &format!("queries_plain/{queries}"),
+            g.bench(&format!("queries_plain/{queries}"), || {
+                observations
+                    .iter()
+                    .map(|t| plain.normalize(std::hint::black_box(t)).expect("normalizes").size())
+                    .sum::<usize>()
+            }),
+        );
+        push(
+            "memoization",
+            &format!("queries_memo/{queries}"),
+            g.bench_batched(
+                &format!("queries_memo/{queries}"),
+                || Rewriter::new(&spec).with_fuel(1_000_000_000).memoizing(),
+                |rw| {
+                    observations
+                        .iter()
+                        .map(|t| rw.normalize(std::hint::black_box(t)).expect("normalizes").size())
+                        .sum::<usize>()
+                },
+            ),
+        );
+    }
+
+    // rewrite_queue: raw single-threaded normalization throughput.
+    {
+        let g = group("rewrite_queue");
+        let rw = Rewriter::new(&spec).with_fuel(100_000_000);
+        for &n in &[32usize, 128] {
+            let chain = queue_term(&spec, n, 0, 7);
+            let front = sig.apply("FRONT", vec![chain]).expect("well-sorted");
+            push(
+                "rewrite_queue",
+                &format!("front/{n}"),
+                g.bench(&format!("front/{n}"), || {
+                    rw.normalize(std::hint::black_box(&front)).expect("normalizes")
+                }),
+            );
+        }
+        let is_empty = sig
+            .apply("IS_EMPTY?", vec![queue_term(&spec, 128, 0, 7)])
+            .expect("well-sorted");
+        push(
+            "rewrite_queue",
+            "is_empty/128",
+            g.bench("is_empty/128", || {
+                rw.normalize(std::hint::black_box(&is_empty)).expect("normalizes")
+            }),
+        );
+        let drain = queue_term(&spec, 64, 64, 7);
+        push(
+            "rewrite_queue",
+            "drain/64",
+            g.bench("drain/64", || {
+                rw.normalize(std::hint::black_box(&drain)).expect("normalizes")
+            }),
+        );
+    }
+
+    // checker_scaling: the full completeness partition analysis, and the
+    // parallel completeness+consistency pipeline at 1 and 4 workers.
+    {
+        let g = group("checker_scaling");
+        let small = synthetic_spec(8, 32);
+        push(
+            "checker_scaling",
+            "complete/8ctors_32obs",
+            g.bench("complete/8ctors_32obs", || {
+                let report = adt_check::check_completeness(std::hint::black_box(&small));
+                assert!(report.is_sufficiently_complete());
+                report.coverage().len()
+            }),
+        );
+
+        let big = synthetic_spec(8, 64);
+        let probe = ProbeConfig {
+            samples: 64,
+            ..ProbeConfig::default()
+        };
+        for jobs in [1usize, 4] {
+            push(
+                "checker_scaling",
+                &format!("parallel/64ops_jobs{jobs}"),
+                g.bench(&format!("parallel/64ops_jobs{jobs}"), || {
+                    let comp = check_completeness_jobs(std::hint::black_box(&big), jobs);
+                    assert!(comp.is_sufficiently_complete());
+                    let cons = check_consistency_jobs(&big, &probe, jobs);
+                    (comp.coverage().len(), cons.pairs_checked())
+                }),
+            );
+        }
+    }
+
+    rows
+}
+
+fn read_report(path: &str) -> Result<BenchReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    BenchReport::from_json(&text).map_err(|e| format!("`{path}`: {e}"))
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    let quick = opts.quick || std::env::var_os("ADT_BENCH_QUICK").is_some_and(|v| v != "0");
+    let mut report = BenchReport::new(if quick { "quick" } else { "full" });
+    report.benchmarks = run_benchmarks(quick);
+
+    if let Some(path) = &opts.merge_before {
+        report.merge_before(&read_report(path)?);
+    }
+
+    let json = report.to_json();
+    match &opts.json {
+        Some(path) => std::fs::write(path, &json)
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?,
+        None => print!("{json}"),
+    }
+
+    if let Some(path) = &opts.baseline {
+        let baseline = read_report(path)?;
+        let regs = regressions(&report, &baseline, opts.max_regress);
+        if !regs.is_empty() {
+            let mut msg = format!(
+                "{} benchmark(s) regressed past {:.1}x the baseline `{path}`:\n",
+                regs.len(),
+                opts.max_regress
+            );
+            for r in &regs {
+                msg.push_str(&format!(
+                    "  {}: {} ns -> {} ns ({:.2}x)\n",
+                    r.key, r.baseline_ns, r.fresh_ns, r.factor
+                ));
+            }
+            return Err(msg);
+        }
+        println!(
+            "baseline `{path}`: {} shared benchmark(s), none past {:.1}x",
+            report
+                .benchmarks
+                .iter()
+                .filter(|b| baseline.find(&b.key()).is_some())
+                .count(),
+            opts.max_regress
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_args;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_all_flags() {
+        let opts = parse_args(&strings(&[
+            "--json",
+            "out.json",
+            "--baseline",
+            "base.json",
+            "--max-regress",
+            "1.5",
+            "--merge-before",
+            "before.json",
+            "--quick",
+        ]))
+        .expect("parses")
+        .expect("not help");
+        assert_eq!(opts.json.as_deref(), Some("out.json"));
+        assert_eq!(opts.baseline.as_deref(), Some("base.json"));
+        assert_eq!(opts.merge_before.as_deref(), Some("before.json"));
+        assert!((opts.max_regress - 1.5).abs() < 1e-9);
+        assert!(opts.quick);
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse_args(&strings(&["--wat"])).is_err());
+        assert!(parse_args(&strings(&["--json"])).is_err());
+        assert!(parse_args(&strings(&["--max-regress", "0.5"])).is_err());
+        assert!(parse_args(&strings(&["--max-regress", "nan"])).is_err());
+    }
+
+    #[test]
+    fn help_short_circuits() {
+        assert!(parse_args(&strings(&["--help"])).expect("ok").is_none());
+    }
+}

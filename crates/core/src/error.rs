@@ -68,6 +68,16 @@ pub enum CoreError {
         /// What is wrong with the specification.
         reason: String,
     },
+    /// An id table outgrew the 32-bit id space. Ids are `u32` indices;
+    /// allocating past `u32::MAX` entries would silently alias two
+    /// distinct entries, so allocation fails loudly instead.
+    CapacityExceeded {
+        /// Which table overflowed (`"sort"`, `"operation"`, `"variable"`,
+        /// `"term"`).
+        kind: &'static str,
+        /// The maximum number of representable entries.
+        limit: u64,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -103,6 +113,10 @@ impl fmt::Display for CoreError {
                 write!(f, "axiom `{label}` is ill-formed: {reason}")
             }
             CoreError::InvalidSpec { reason } => write!(f, "invalid specification: {reason}"),
+            CoreError::CapacityExceeded { kind, limit } => write!(
+                f,
+                "{kind} table is full: at most {limit} {kind} ids can be allocated"
+            ),
         }
     }
 }

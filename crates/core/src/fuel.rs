@@ -22,6 +22,20 @@ use std::time::Duration;
 /// repository while still catching circular axiom sets quickly.
 pub const DEFAULT_FUEL_STEPS: u64 = 1_000_000;
 
+/// The default evaluation-depth bound.
+///
+/// Innermost evaluation recurses on the native stack, so an *unbounded*
+/// depth turns a sufficiently deep ground term into a stack overflow —
+/// an abort, not a verdict. The default cap converts that failure into a
+/// deterministic [`ExhaustionCause::Depth`] receipt. 1024 is roughly 3×
+/// the deepest term any workload in this repository builds (queue chains
+/// of 128, symbol-table traces of 256) while staying far below the
+/// native frame budget of a default 2 MiB worker-thread stack, debug
+/// builds included. Callers that genuinely need deeper evaluation can
+/// opt out with [`Fuel::without_max_depth`] — and take responsibility
+/// for running on a stack that fits.
+pub const DEFAULT_MAX_DEPTH: usize = 1024;
+
 /// A resource budget for one normalization (or one checker work item).
 ///
 /// ```
@@ -47,14 +61,15 @@ impl Default for Fuel {
     fn default() -> Self {
         Fuel {
             steps: DEFAULT_FUEL_STEPS,
-            max_depth: None,
+            max_depth: Some(DEFAULT_MAX_DEPTH),
             deadline: None,
         }
     }
 }
 
 impl Fuel {
-    /// A budget of `steps` rewrite steps with no depth or deadline bound.
+    /// A budget of `steps` rewrite steps with the default depth bound and
+    /// no deadline.
     pub fn steps(steps: u64) -> Self {
         Fuel {
             steps,
@@ -66,6 +81,18 @@ impl Fuel {
     #[must_use]
     pub fn with_max_depth(mut self, depth: usize) -> Self {
         self.max_depth = Some(depth);
+        self
+    }
+
+    /// Removes the depth bound entirely.
+    ///
+    /// Evaluation recurses on the native stack, so an unbounded depth
+    /// makes stack overflow (a process abort) reachable again for deep
+    /// enough inputs; only use this on threads with stacks sized for the
+    /// terms at hand.
+    #[must_use]
+    pub fn without_max_depth(mut self) -> Self {
+        self.max_depth = None;
         self
     }
 
@@ -127,11 +154,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn defaults_bound_steps_only() {
+    fn defaults_bound_steps_and_depth_but_not_time() {
         let f = Fuel::default();
         assert_eq!(f.steps, DEFAULT_FUEL_STEPS);
-        assert_eq!(f.max_depth, None);
+        assert_eq!(f.max_depth, Some(DEFAULT_MAX_DEPTH));
         assert_eq!(f.deadline, None);
+    }
+
+    #[test]
+    fn depth_bound_can_be_lifted() {
+        let f = Fuel::default().without_max_depth();
+        assert_eq!(f.max_depth, None);
+        assert_eq!(f.steps, DEFAULT_FUEL_STEPS);
     }
 
     #[test]

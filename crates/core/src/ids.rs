@@ -6,6 +6,29 @@
 
 use std::fmt;
 
+use crate::error::CoreError;
+
+/// Converts a table length into the next id index, failing loudly when the
+/// table has outgrown the 32-bit id space.
+///
+/// Ids are `u32` by design (they are copied pervasively and keyed into
+/// dense tables); a table of more than `u32::MAX` entries cannot be
+/// represented and silently truncating the index would *alias* two
+/// distinct entries — the worst possible failure mode for an interning
+/// scheme. `kind` names the table for the error message (`"sort"`,
+/// `"operation"`, `"variable"`, `"term"`).
+///
+/// # Errors
+///
+/// Returns [`CoreError::CapacityExceeded`] when `len` does not fit in a
+/// `u32`.
+pub(crate) fn checked_index(len: usize, kind: &'static str) -> Result<u32, CoreError> {
+    u32::try_from(len).map_err(|_| CoreError::CapacityExceeded {
+        kind,
+        limit: u64::from(u32::MAX),
+    })
+}
+
 macro_rules! id_type {
     ($(#[$doc:meta])* $name:ident, $tag:literal) => {
         $(#[$doc])*
@@ -24,9 +47,14 @@ macro_rules! id_type {
             /// Only meaningful for indices previously obtained from the same
             /// [`Signature`](crate::Signature); using a stale or foreign
             /// index yields lookup panics, never memory unsafety.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in the 32-bit id space —
+            /// truncating would alias two distinct identifiers.
             #[inline]
             pub fn from_index(index: usize) -> Self {
-                Self(index as u32)
+                Self(u32::try_from(index).expect("id index exceeds the u32 id space"))
             }
         }
 
@@ -82,6 +110,31 @@ mod tests {
         set.insert(SortId::from_index(2));
         assert_eq!(set.len(), 2);
         assert!(SortId::from_index(1) < SortId::from_index(2));
+    }
+
+    #[test]
+    fn checked_index_accepts_the_full_u32_range() {
+        assert_eq!(checked_index(0, "sort").unwrap(), 0);
+        assert_eq!(checked_index(41, "sort").unwrap(), 41);
+        assert_eq!(
+            checked_index(u32::MAX as usize, "sort").unwrap(),
+            u32::MAX
+        );
+    }
+
+    #[cfg(target_pointer_width = "64")]
+    #[test]
+    fn checked_index_rejects_oversized_tables() {
+        let err = checked_index(u32::MAX as usize + 1, "operation").unwrap_err();
+        match err {
+            CoreError::CapacityExceeded { kind, limit } => {
+                assert_eq!(kind, "operation");
+                assert_eq!(limit, u64::from(u32::MAX));
+            }
+            other => panic!("expected CapacityExceeded, got {other:?}"),
+        }
+        let rendered = checked_index(usize::MAX, "term").unwrap_err().to_string();
+        assert!(rendered.contains("term table is full"), "{rendered}");
     }
 
     #[test]

@@ -56,6 +56,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod axiom;
 mod error;
 mod fuel;
@@ -70,9 +71,10 @@ mod unify;
 
 pub mod display;
 
+pub use arena::{TermArena, TermId, TermNode};
 pub use axiom::Axiom;
 pub use error::{CoreError, EngineError};
-pub use fuel::{ExhaustionCause, Fuel, FuelSpent, DEFAULT_FUEL_STEPS};
+pub use fuel::{ExhaustionCause, Fuel, FuelSpent, DEFAULT_FUEL_STEPS, DEFAULT_MAX_DEPTH};
 pub use ids::{OpId, SortId, VarId};
 pub use matching::{match_pattern, match_pattern_at_root};
 pub use rng::DetRng;

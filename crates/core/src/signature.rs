@@ -165,7 +165,7 @@ impl Signature {
         if self.sort_by_name.contains_key(name) {
             return Err(CoreError::DuplicateSort { name: name.into() });
         }
-        let id = SortId(self.sorts.len() as u32);
+        let id = SortId(crate::ids::checked_index(self.sorts.len(), "sort")?);
         self.sorts.push(SortInfo {
             name: name.into(),
             builtin,
@@ -185,7 +185,7 @@ impl Signature {
         if self.op_by_name.contains_key(name) {
             return Err(CoreError::DuplicateOp { name: name.into() });
         }
-        let id = OpId(self.ops.len() as u32);
+        let id = OpId(crate::ids::checked_index(self.ops.len(), "operation")?);
         self.ops.push(OpInfo {
             name: name.into(),
             args,
@@ -235,7 +235,7 @@ impl Signature {
         if self.var_by_name.contains_key(name) {
             return Err(CoreError::DuplicateVar { name: name.into() });
         }
-        let id = VarId(self.vars.len() as u32);
+        let id = VarId(crate::ids::checked_index(self.vars.len(), "variable")?);
         self.vars.push(VarInfo {
             name: name.into(),
             sort,

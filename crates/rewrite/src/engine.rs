@@ -1,14 +1,40 @@
 //! The rewrite engine: innermost normalization with strict `error`,
 //! boolean conditionals, contextual assumptions, and a case-splitting
 //! equality prover.
+//!
+//! # The hash-consed hot path
+//!
+//! The public API speaks [`Term`] — an ordinary boxed tree — but the
+//! evaluator itself runs on [`TermId`]s drawn from a per-normalization
+//! [`TermArena`]. Interning gives the hot loop three things the tree
+//! representation cannot:
+//!
+//! * **O(1) equality** — hash-consing makes structural equality an id
+//!   compare, so condition decisions, assumption lookups, branch
+//!   merging, and nonlinear pattern occurrences cost a `u32` compare
+//!   instead of a tree walk;
+//! * **O(1) groundness and depth** — both are computed once per node at
+//!   interning time and cached, so the memo probe and the instantiation
+//!   shortcut read a bit instead of traversing;
+//! * **allocation-free sharing** — a rule's contractum reuses the ids of
+//!   the matched subject fragments outright; no subtree is ever copied
+//!   to be substituted.
+//!
+//! The arena is run-local: ids never escape a [`Rewriter::run`] call
+//! (normal forms are converted back to [`Term`] at the boundary), so the
+//! rewriter stays `Sync` without any locking on the evaluation path, and
+//! observable behaviour — normal forms, step counts, traces, exhaustion
+//! receipts — is byte-identical to the tree-walking evaluator it
+//! replaced.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::{BuildHasherDefault, Hasher};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use adt_core::{match_pattern, ExhaustionCause, Fuel, FuelSpent, Ite, Spec, Term};
+use adt_core::{
+    ExhaustionCause, Fuel, FuelSpent, OpId, SortId, Spec, Term, TermArena, TermId, TermNode, VarId,
+};
 
 use crate::error::RewriteError;
 use crate::rule::{Rule, RuleSet};
@@ -57,10 +83,14 @@ impl Proof {
 
 /// Contextual truth assumptions about stuck boolean terms, used when
 /// normalizing under a case analysis (`ISSAME?(id, id1) = true`, say).
-type Assumptions = Vec<(Term, bool)>;
+///
+/// Conditions are arena ids: within one run, hash-consing makes id
+/// equality coincide with structural equality, so a lookup is a linear
+/// scan of `u32` compares.
+type Assumptions = Vec<(TermId, bool)>;
 
-fn lookup(asms: &Assumptions, cond: &Term) -> Option<bool> {
-    asms.iter().rev().find(|(t, _)| t == cond).map(|&(_, b)| b)
+fn lookup(asms: &Assumptions, cond: TermId) -> Option<bool> {
+    asms.iter().rev().find(|&&(t, _)| t == cond).map(|&(_, b)| b)
 }
 
 /// How often (in steps) the wall-clock deadline is polled. Checking every
@@ -68,19 +98,19 @@ fn lookup(asms: &Assumptions, cond: &Term) -> Option<bool> {
 /// overshoot while keeping the common (no-deadline) path branch-only.
 const DEADLINE_CHECK_INTERVAL: u64 = 1024;
 
-struct EvalState {
+pub(crate) struct EvalState {
     remaining: u64,
-    steps: u64,
+    pub(crate) steps: u64,
     depth: usize,
     max_depth: usize,
     /// Only sampled when the budget carries a deadline, so budgets
     /// without one stay fully deterministic.
     started: Option<Instant>,
-    trace: Option<Trace>,
+    pub(crate) trace: Option<Trace>,
 }
 
 impl EvalState {
-    fn new(budget: &Fuel, trace: Option<Trace>) -> Self {
+    pub(crate) fn new(budget: &Fuel, trace: Option<Trace>) -> Self {
         EvalState {
             remaining: budget.steps,
             steps: 0,
@@ -99,7 +129,7 @@ impl EvalState {
         }
     }
 
-    fn tick(&mut self, budget: &Fuel) -> Result<()> {
+    pub(crate) fn tick(&mut self, budget: &Fuel) -> Result<()> {
         if self.remaining == 0 {
             return Err(RewriteError::Exhausted {
                 spent: self.spent(ExhaustionCause::Steps),
@@ -119,7 +149,7 @@ impl EvalState {
         Ok(())
     }
 
-    fn enter(&mut self, budget: &Fuel) -> Result<()> {
+    pub(crate) fn enter(&mut self, budget: &Fuel) -> Result<()> {
         self.depth += 1;
         if let Some(cap) = budget.max_depth {
             if self.depth > cap {
@@ -137,7 +167,7 @@ impl EvalState {
         Ok(())
     }
 
-    fn exit(&mut self) {
+    pub(crate) fn exit(&mut self) {
         self.depth -= 1;
     }
 
@@ -204,9 +234,40 @@ pub struct Rewriter<'a> {
 /// few hundred bytes when idle.
 const MEMO_SHARDS: usize = 16;
 
+/// Passes an already-mixed `u64` key through unchanged: the memo is keyed
+/// by [`TermArena::structural_hash`] values, which are well scrambled by
+/// construction, so SipHash on top would only add latency to every probe.
+#[derive(Default)]
+struct PassthroughHasher(u64);
+
+impl Hasher for PassthroughHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, _bytes: &[u8]) {
+        unreachable!("PassthroughHasher only hashes u64 keys");
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.0 = i;
+    }
+}
+
+type MemoShard = HashMap<u64, Vec<(Term, Term)>, BuildHasherDefault<PassthroughHasher>>;
+
 /// A sharded, mutex-guarded normal-form cache.
 ///
-/// Terms are distributed across [`MEMO_SHARDS`] independent
+/// Entries are keyed by the *arena-independent* structural hash of a
+/// ground term ([`TermArena::structural_hash`]), with hash collisions
+/// resolved by structural comparison against the stored key. Keys and
+/// values are stored as plain [`Term`]s, never as arena ids: ids are
+/// run-local and the cache outlives every run (and is shared across
+/// worker threads), so terms are re-derived at the cache boundary.
+///
+/// Entries are distributed across [`MEMO_SHARDS`] independent
 /// `Mutex<HashMap>` shards by hash, so concurrent `normalize` calls from
 /// a worker pool mostly lock disjoint shards. The cache stores only
 /// context-free facts (ground term → normal form), so any interleaving of
@@ -214,35 +275,50 @@ const MEMO_SHARDS: usize = 16;
 /// cannot change results.
 #[derive(Debug, Default)]
 struct ShardedMemo {
-    shards: Vec<Mutex<HashMap<Term, Term>>>,
+    shards: Vec<Mutex<MemoShard>>,
 }
 
 impl ShardedMemo {
     fn new() -> Self {
         ShardedMemo {
-            shards: (0..MEMO_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(MemoShard::default()))
+                .collect(),
         }
     }
 
-    fn shard(&self, term: &Term) -> &Mutex<HashMap<Term, Term>> {
-        let mut hasher = DefaultHasher::new();
-        term.hash(&mut hasher);
-        &self.shards[(hasher.finish() as usize) % MEMO_SHARDS]
+    fn shard(&self, hash: u64) -> &Mutex<MemoShard> {
+        &self.shards[(hash as usize) % MEMO_SHARDS]
     }
 
-    fn get(&self, term: &Term) -> Option<Term> {
-        self.shard(term)
+    fn get(&self, arena: &TermArena, id: TermId) -> Option<Term> {
+        let hash = arena.structural_hash(id);
+        let guard = self
+            .shard(hash)
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(term)
-            .cloned()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard
+            .get(&hash)?
+            .iter()
+            .find(|(key, _)| arena.term_eq(id, key))
+            .map(|(_, nf)| nf.clone())
     }
 
-    fn insert(&self, term: Term, nf: Term) {
-        self.shard(&term)
+    fn insert(&self, arena: &TermArena, id: TermId, nf: TermId) {
+        let hash = arena.structural_hash(id);
+        let key = arena.to_term(id);
+        let value = arena.to_term(nf);
+        let mut guard = self
+            .shard(hash)
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .insert(term, nf);
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let bucket = guard.entry(hash).or_default();
+        // Another worker may have raced us to the same fact; the check
+        // and the push happen under one shard lock, so buckets never
+        // hold duplicate keys.
+        if !bucket.iter().any(|(existing, _)| existing == &key) {
+            bucket.push((key, value));
+        }
     }
 }
 
@@ -262,6 +338,159 @@ impl Clone for ShardedMemo {
                 .collect(),
         }
     }
+}
+
+/// A rule whose sides are interned into the run's arena, paired with its
+/// position in the rewriter's [`RuleSet`] bucket for that head (trace
+/// labels are read back through the index, so no strings are copied).
+struct InternedRule {
+    lhs: TermId,
+    rhs: TermId,
+    index: usize,
+}
+
+/// Per-normalization working state: the arena all terms of this run live
+/// in, plus everything interned into it.
+///
+/// A fresh context is built for every [`Rewriter::run`] call. Arenas are
+/// append-only and unsynchronized, so run-local contexts are what keep
+/// the rewriter `Sync` — the parallel checker shares one rewriter across
+/// its workers — with zero locks on the evaluation path, and what
+/// guarantee ids never leak between runs.
+struct RunCx {
+    arena: TermArena,
+    /// The interned boolean constants: deciding a condition is an id
+    /// compare against these.
+    tt: TermId,
+    ff: TermId,
+    /// Rules compiled per head operation, indexed by `OpId::index` and
+    /// populated lazily the first time that head is evaluated (most runs
+    /// touch a handful of the specification's operations).
+    rules: Vec<Option<Box<[InternedRule]>>>,
+    /// Context-free evaluation results: `cache[id.index()]` is the
+    /// normal form of `id`, filled in as subterms finish evaluating
+    /// outside assumption contexts and traces. This is what makes
+    /// re-examining an already-normalized subterm O(1): innermost
+    /// rewriting otherwise re-walks the whole normalized portion of the
+    /// term after every step. Indexed densely by id — ids are arena
+    /// offsets — so a lookup is two array reads, no hashing.
+    cache: Vec<Option<TermId>>,
+}
+
+impl RunCx {
+    fn new(spec: &Spec) -> Self {
+        let mut arena = TermArena::new();
+        let tt = arena.intern(&spec.sig().tt());
+        let ff = arena.intern(&spec.sig().ff());
+        RunCx {
+            arena,
+            tt,
+            ff,
+            rules: Vec::new(),
+            cache: Vec::new(),
+        }
+    }
+
+    fn cached_nf(&self, id: TermId) -> Option<TermId> {
+        self.cache.get(id.index()).copied().flatten()
+    }
+
+    fn record_nf(&mut self, id: TermId, nf: TermId) {
+        let index = id.index();
+        if self.cache.len() <= index {
+            self.cache.resize(self.arena.len(), None);
+        }
+        self.cache[index] = Some(nf);
+    }
+}
+
+/// Matches an interned rule pattern against an interned subject.
+///
+/// Bindings accumulate in a vector rather than a map: axiom patterns
+/// have a handful of variables, and a linear scan of `u32` pairs beats
+/// hashing. A nonlinear occurrence checks id equality — O(1) under
+/// hash-consing where the tree matcher re-walked the subject. Recursion
+/// is bounded by the *pattern* (axiom-sized), never by the subject.
+fn match_id(
+    arena: &TermArena,
+    pattern: TermId,
+    subject: TermId,
+    bindings: &mut Vec<(VarId, TermId)>,
+) -> bool {
+    if pattern == subject && arena.is_ground(pattern) {
+        // Identical ids denote identical terms, and a ground pattern
+        // binds nothing — nothing further to check.
+        return true;
+    }
+    match (arena.node(pattern), arena.node(subject)) {
+        (TermNode::Var(v), _) => match bindings.iter().find(|(bound_var, _)| bound_var == v) {
+            Some(&(_, bound)) => bound == subject,
+            None => {
+                bindings.push((*v, subject));
+                true
+            }
+        },
+        (TermNode::Error(a), TermNode::Error(b)) => a == b,
+        (TermNode::App(f, ps), TermNode::App(g, ss)) => {
+            f == g
+                && ps.len() == ss.len()
+                && ps
+                    .iter()
+                    .zip(ss.iter())
+                    .all(|(&p, &s)| match_id(arena, p, s, bindings))
+        }
+        (TermNode::Ite(pc, pt, pe), TermNode::Ite(sc, st, se)) => {
+            match_id(arena, *pc, *sc, bindings)
+                && match_id(arena, *pt, *st, bindings)
+                && match_id(arena, *pe, *se, bindings)
+        }
+        _ => false,
+    }
+}
+
+/// Builds a contractum: the rule's right-hand side with bound variables
+/// replaced by the matched subject fragments.
+///
+/// Ground template subtrees are returned as-is — under hash-consing the
+/// instantiation of a ground subtree *is* that subtree — so each step
+/// costs O(axiom), never O(subject): the bound fragments are shared by
+/// id, not copied. An unbound template variable instantiates to itself,
+/// mirroring `Subst::apply`. Recursion is bounded by the template.
+fn instantiate(arena: &mut TermArena, template: TermId, bindings: &[(VarId, TermId)]) -> TermId {
+    if arena.is_ground(template) {
+        return template;
+    }
+    match arena.node(template).clone() {
+        // Errors are ground, so the shortcut above already returned.
+        TermNode::Error(_) => template,
+        TermNode::Var(v) => bindings
+            .iter()
+            .find(|&&(bound_var, _)| bound_var == v)
+            .map_or(template, |&(_, bound)| bound),
+        TermNode::App(op, args) => {
+            let args = args
+                .iter()
+                .map(|&a| instantiate(arena, a, bindings))
+                .collect();
+            arena.app(op, args)
+        }
+        TermNode::Ite(c, t, e) => {
+            let c = instantiate(arena, c, bindings);
+            let t = instantiate(arena, t, bindings);
+            let e = instantiate(arena, e, bindings);
+            arena.ite(c, t, e)
+        }
+    }
+}
+
+/// Rebuilds an `if-then-else` over interned parts as a plain term, for
+/// trace output only — never on the untraced path.
+fn reify_ite(arena: &TermArena, cond: TermId, then_id: TermId, else_id: TermId) -> Term {
+    Term::ite(
+        arena.to_term(cond),
+        arena.to_term(then_id),
+        arena.to_term(else_id),
+    )
 }
 
 impl<'a> Rewriter<'a> {
@@ -296,9 +525,11 @@ impl<'a> Rewriter<'a> {
     /// re-derivation pattern of observers like `FRONT` into near-linear
     /// work — measured by the `memoization` benchmark.
     ///
-    /// The cache is a sharded, mutex-guarded map, so a memoizing rewriter
-    /// is `Sync`: the parallel checking engine shares one rewriter (and
-    /// one cache) across its worker threads.
+    /// The cache is a sharded, mutex-guarded map keyed by the
+    /// arena-independent structural hash, so a memoizing rewriter is
+    /// `Sync`: the parallel checking engine shares one rewriter (and one
+    /// cache) across its worker threads, and facts learned in one run's
+    /// arena are found from every other run.
     #[must_use]
     pub fn memoizing(mut self) -> Self {
         self.memo = Some(ShardedMemo::new());
@@ -349,7 +580,7 @@ impl<'a> Rewriter<'a> {
     /// bound tripped), or [`RewriteError::IllSorted`] if strict error
     /// propagation needed the sort of an ill-sorted subterm.
     pub fn normalize(&self, term: &Term) -> Result<Term> {
-        Ok(self.run(term, None, &Vec::new())?.0.term)
+        Ok(self.run(term, None, &[])?.0.term)
     }
 
     /// Normalizes a term, also reporting the number of steps taken.
@@ -358,7 +589,7 @@ impl<'a> Rewriter<'a> {
     ///
     /// As for [`Rewriter::normalize`].
     pub fn normalize_full(&self, term: &Term) -> Result<Normalization> {
-        Ok(self.run(term, None, &Vec::new())?.0)
+        Ok(self.run(term, None, &[])?.0)
     }
 
     /// Normalizes a term, recording every step in a [`Trace`].
@@ -367,7 +598,7 @@ impl<'a> Rewriter<'a> {
     ///
     /// As for [`Rewriter::normalize`].
     pub fn normalize_traced(&self, term: &Term) -> Result<(Term, Trace)> {
-        let (norm, trace) = self.run(term, Some(Trace::new()), &Vec::new())?;
+        let (norm, trace) = self.run(term, Some(Trace::new()), &[])?;
         Ok((norm.term, trace.unwrap_or_else(Trace::new)))
     }
 
@@ -378,8 +609,7 @@ impl<'a> Rewriter<'a> {
     ///
     /// As for [`Rewriter::normalize`].
     pub fn normalize_under(&self, term: &Term, assumptions: &[(Term, bool)]) -> Result<Term> {
-        let asms: Assumptions = assumptions.to_vec();
-        Ok(self.run(term, None, &asms)?.0.term)
+        Ok(self.run(term, None, assumptions)?.0.term)
     }
 
     /// Whether two terms have the same normal form.
@@ -410,7 +640,7 @@ impl<'a> Rewriter<'a> {
         &self,
         a: &Term,
         b: &Term,
-        asms: &mut Assumptions,
+        asms: &mut Vec<(Term, bool)>,
         splits_left: usize,
     ) -> Result<Proof> {
         let (na, _) = self.run(a, None, asms)?;
@@ -454,119 +684,143 @@ impl<'a> Rewriter<'a> {
         &self,
         term: &Term,
         trace: Option<Trace>,
-        asms: &Assumptions,
+        asms: &[(Term, bool)],
     ) -> Result<(Normalization, Option<Trace>)> {
         let mut st = EvalState::new(&self.budget, trace);
         if let Some(t) = &mut st.trace {
             t.set_initial(term);
         }
-        let nf = self.eval(term.clone(), &mut st, asms)?;
+        let mut cx = RunCx::new(self.spec);
+        let root = cx.arena.intern(term);
+        let asms: Assumptions = asms.iter().map(|(t, b)| (cx.arena.intern(t), *b)).collect();
+        let nf = self.eval(&mut cx, root, &mut st, &asms)?;
         Ok((
             Normalization {
-                term: nf,
+                term: cx.arena.to_term(nf),
                 steps: st.steps,
             },
             st.trace,
         ))
     }
 
-    fn eval(&self, term: Term, st: &mut EvalState, asms: &Assumptions) -> Result<Term> {
+    fn eval(
+        &self,
+        cx: &mut RunCx,
+        id: TermId,
+        st: &mut EvalState,
+        asms: &Assumptions,
+    ) -> Result<TermId> {
         st.enter(&self.budget)?;
-        let result = self.eval_memo(term, st, asms);
+        let result = self.eval_memo(cx, id, st, asms);
         st.exit();
         result
     }
 
-    fn eval_memo(&self, term: Term, st: &mut EvalState, asms: &Assumptions) -> Result<Term> {
+    fn eval_memo(
+        &self,
+        cx: &mut RunCx,
+        id: TermId,
+        st: &mut EvalState,
+        asms: &Assumptions,
+    ) -> Result<TermId> {
+        // Evaluation outside assumption contexts and traces is
+        // context-free, so its results are stable for the whole run:
+        // consult the run-local cache first (two array reads), then the
+        // cross-run memo for ground applications. The run cache is what
+        // makes innermost rewriting near-linear here — without it, every
+        // step re-walks the entire already-normalized portion of the
+        // term looking for redexes that cannot exist.
+        let cacheable = asms.is_empty() && !st.tracing();
+        if cacheable {
+            if let Some(nf) = cx.cached_nf(id) {
+                return Ok(nf);
+            }
+        }
         // Ground-subterm memoization (see `memoizing`): only applications
-        // are worth caching, and only outside assumption contexts and
-        // traces.
+        // are worth caching. Groundness is a cached bit, so the probe
+        // costs one hash lookup instead of a tree walk.
         let memo_key = match &self.memo {
-            Some(memo) if asms.is_empty() && !st.tracing() && matches!(term, Term::App(_, _)) => {
-                if term.is_ground() {
-                    if let Some(hit) = memo.get(&term) {
-                        return Ok(hit);
-                    }
-                    Some(term.clone())
-                } else {
-                    None
+            Some(memo)
+                if cacheable
+                    && matches!(cx.arena.node(id), TermNode::App(_, _))
+                    && cx.arena.is_ground(id) =>
+            {
+                if let Some(hit) = memo.get(&cx.arena, id) {
+                    let nf = cx.arena.intern(&hit);
+                    cx.record_nf(id, nf);
+                    return Ok(nf);
                 }
+                Some(id)
             }
             _ => None,
         };
-        let result = self.eval_loop(term, st, asms)?;
+        let result = self.eval_loop(cx, id, st, asms)?;
+        if cacheable {
+            cx.record_nf(id, result);
+            // A normal form evaluates to itself; recording that fact
+            // spares the no-op walk when the result id resurfaces as an
+            // argument elsewhere.
+            cx.record_nf(result, result);
+        }
         if let (Some(memo), Some(key)) = (&self.memo, memo_key) {
-            memo.insert(key, result.clone());
+            memo.insert(&cx.arena, key, result);
         }
         Ok(result)
     }
 
-    fn eval_loop(&self, term: Term, st: &mut EvalState, asms: &Assumptions) -> Result<Term> {
-        let mut current = term;
+    fn eval_loop(
+        &self,
+        cx: &mut RunCx,
+        id: TermId,
+        st: &mut EvalState,
+        asms: &Assumptions,
+    ) -> Result<TermId> {
+        let mut current = id;
+        let mut bindings: Vec<(VarId, TermId)> = Vec::new();
         loop {
-            match current {
-                Term::Var(_) | Term::Error(_) => return Ok(current),
-                Term::Ite(ite) => {
-                    let Ite {
-                        cond,
-                        then_branch,
-                        else_branch,
-                    } = *ite;
-                    let cond = self.eval(cond, st, asms)?;
-                    let sig = self.spec.sig();
-                    let decided = if cond == sig.tt() {
+            match cx.arena.node(current) {
+                TermNode::Var(_) | TermNode::Error(_) => return Ok(current),
+                TermNode::Ite(c, t, e) => {
+                    let (c, then_id, else_id) = (*c, *t, *e);
+                    let cond = self.eval(cx, c, st, asms)?;
+                    let decided = if cond == cx.tt {
                         Some(true)
-                    } else if cond == sig.ff() {
+                    } else if cond == cx.ff {
                         Some(false)
                     } else {
-                        lookup(asms, &cond)
+                        lookup(asms, cond)
                     };
                     if let Some(value) = decided {
                         st.tick(&self.budget)?;
                         if st.tracing() {
-                            let redex =
-                                Term::ite(cond.clone(), then_branch.clone(), else_branch.clone());
+                            let redex = reify_ite(&cx.arena, cond, then_id, else_id);
                             let rule = if value { "if-true" } else { "if-false" };
-                            let taken = if value { &then_branch } else { &else_branch };
-                            st.note(rule, &redex, taken);
+                            let taken = cx.arena.to_term(if value { then_id } else { else_id });
+                            st.note(rule, &redex, &taken);
                         }
-                        current = if value { then_branch } else { else_branch };
+                        current = if value { then_id } else { else_id };
                         continue;
                     }
-                    if cond.is_error() {
+                    if matches!(cx.arena.node(cond), TermNode::Error(_)) {
                         st.tick(&self.budget)?;
-                        let sort = then_branch.sort(self.spec.sig())?;
-                        let result = Term::Error(sort);
+                        let sort = self.branch_sort(&cx.arena, then_id)?;
+                        let result = cx.arena.error(sort);
                         if st.tracing() {
-                            let redex = Term::ite(cond, then_branch, else_branch);
-                            st.note("strict", &redex, &result);
+                            let redex = reify_ite(&cx.arena, cond, then_id, else_id);
+                            st.note("strict", &redex, &cx.arena.to_term(result));
                         }
                         return Ok(result);
                     }
                     // Stuck condition that is itself a conditional: lift it.
-                    if let Term::Ite(inner) = cond {
+                    if let TermNode::Ite(c0, a, b) = cx.arena.node(cond) {
+                        let (c0, a, b) = (*c0, *a, *b);
                         st.tick(&self.budget)?;
-                        let redex = if st.tracing() {
-                            Some(Term::ite(
-                                Term::Ite(inner.clone()),
-                                then_branch.clone(),
-                                else_branch.clone(),
-                            ))
-                        } else {
-                            None
-                        };
-                        let Ite {
-                            cond: c0,
-                            then_branch: a,
-                            else_branch: b,
-                        } = *inner;
-                        let lifted = Term::ite(
-                            c0,
-                            Term::ite(a, then_branch.clone(), else_branch.clone()),
-                            Term::ite(b, then_branch, else_branch),
-                        );
-                        if let Some(redex) = redex {
-                            st.note("if-lift", &redex, &lifted);
+                        let then_inner = cx.arena.ite(a, then_id, else_id);
+                        let else_inner = cx.arena.ite(b, then_id, else_id);
+                        let lifted = cx.arena.ite(c0, then_inner, else_inner);
+                        if st.tracing() {
+                            let redex = reify_ite(&cx.arena, cond, then_id, else_id);
+                            st.note("if-lift", &redex, &cx.arena.to_term(lifted));
                         }
                         current = lifted;
                         continue;
@@ -574,43 +828,47 @@ impl<'a> Rewriter<'a> {
                     // Atomic stuck condition: normalize the branches under
                     // the corresponding contextual assumption.
                     let mut then_asms = asms.clone();
-                    then_asms.push((cond.clone(), true));
-                    let t = self.eval(then_branch, st, &then_asms)?;
+                    then_asms.push((cond, true));
+                    let t_nf = self.eval(cx, then_id, st, &then_asms)?;
                     let mut else_asms = asms.clone();
-                    else_asms.push((cond.clone(), false));
-                    let e = self.eval(else_branch, st, &else_asms)?;
-                    if t == e {
+                    else_asms.push((cond, false));
+                    let e_nf = self.eval(cx, else_id, st, &else_asms)?;
+                    if t_nf == e_nf {
                         st.tick(&self.budget)?;
                         if st.tracing() {
-                            let redex = Term::ite(cond.clone(), t.clone(), e.clone());
-                            st.note("if-merge", &redex, &t);
+                            let redex = reify_ite(&cx.arena, cond, t_nf, e_nf);
+                            st.note("if-merge", &redex, &cx.arena.to_term(t_nf));
                         }
-                        return Ok(t);
+                        return Ok(t_nf);
                     }
-                    let sig = self.spec.sig();
-                    if t == sig.tt() && e == sig.ff() {
+                    if t_nf == cx.tt && e_nf == cx.ff {
                         st.tick(&self.budget)?;
                         if st.tracing() {
-                            let redex = Term::ite(cond.clone(), t, e);
-                            st.note("if-eta", &redex, &cond);
+                            let redex = reify_ite(&cx.arena, cond, t_nf, e_nf);
+                            st.note("if-eta", &redex, &cx.arena.to_term(cond));
                         }
                         return Ok(cond);
                     }
-                    return Ok(Term::ite(cond, t, e));
+                    return Ok(cx.arena.ite(cond, t_nf, e_nf));
                 }
-                Term::App(op, args) => {
+                TermNode::App(op, args) => {
+                    let op = *op;
+                    let args = args.to_vec();
                     let mut new_args = Vec::with_capacity(args.len());
-                    for a in args {
-                        new_args.push(self.eval(a, st, asms)?);
+                    for &a in &args {
+                        new_args.push(self.eval(cx, a, st, asms)?);
                     }
                     // Strict error propagation: any operation applied to an
                     // argument list containing error is error (paper, §3).
-                    if new_args.iter().any(Term::is_error) {
+                    if new_args
+                        .iter()
+                        .any(|&a| matches!(cx.arena.node(a), TermNode::Error(_)))
+                    {
                         st.tick(&self.budget)?;
-                        let result = Term::Error(self.spec.sig().try_op(op)?.result());
+                        let result = cx.arena.error(self.spec.sig().try_op(op)?.result());
                         if st.tracing() {
-                            let redex = Term::App(op, new_args);
-                            st.note("strict", &redex, &result);
+                            let redex = self.reify_app(&cx.arena, op, &new_args);
+                            st.note("strict", &redex, &cx.arena.to_term(result));
                         }
                         return Ok(result);
                     }
@@ -619,48 +877,113 @@ impl<'a> Rewriter<'a> {
                     // out: f(…, if c then x else y, …) becomes
                     // if c then f(…, x, …) else f(…, y, …). Sound for all
                     // values of c (true, false, and error, by strictness).
-                    let stuck_arg = new_args.iter().enumerate().find_map(|(idx, a)| match a {
-                        Term::Ite(inner) => Some((idx, inner.clone())),
-                        _ => None,
-                    });
-                    if let Some((idx, inner)) = stuck_arg {
+                    let stuck_arg =
+                        new_args
+                            .iter()
+                            .enumerate()
+                            .find_map(|(idx, &a)| match cx.arena.node(a) {
+                                TermNode::Ite(c, t, e) => Some((idx, *c, *t, *e)),
+                                _ => None,
+                            });
+                    if let Some((idx, c, t, e)) = stuck_arg {
                         st.tick(&self.budget)?;
+                        let redex = if st.tracing() {
+                            Some(self.reify_app(&cx.arena, op, &new_args))
+                        } else {
+                            None
+                        };
                         let mut then_args = new_args.clone();
-                        then_args[idx] = inner.then_branch.clone();
-                        let mut else_args = new_args.clone();
-                        else_args[idx] = inner.else_branch.clone();
-                        let lifted = Term::ite(
-                            inner.cond.clone(),
-                            Term::App(op, then_args),
-                            Term::App(op, else_args),
-                        );
-                        if st.tracing() {
-                            let redex = Term::App(op, new_args);
-                            st.note("arg-lift", &redex, &lifted);
+                        then_args[idx] = t;
+                        let mut else_args = new_args;
+                        else_args[idx] = e;
+                        let then_app = cx.arena.app(op, then_args);
+                        let else_app = cx.arena.app(op, else_args);
+                        let lifted = cx.arena.ite(c, then_app, else_app);
+                        if let Some(redex) = redex {
+                            st.note("arg-lift", &redex, &cx.arena.to_term(lifted));
                         }
                         current = lifted;
                         continue;
                     }
-                    let subject = Term::App(op, new_args);
+                    // If no argument changed, `current` is already the
+                    // interned application — skip the dedup probe.
+                    let subject = if new_args == args {
+                        current
+                    } else {
+                        cx.arena.app(op, new_args)
+                    };
+                    let op_index = op.index();
+                    if cx.rules.len() <= op_index {
+                        cx.rules.resize_with(op_index + 1, || None);
+                    }
+                    if cx.rules[op_index].is_none() {
+                        let compiled: Box<[InternedRule]> = self
+                            .rules
+                            .for_head(op)
+                            .iter()
+                            .enumerate()
+                            .map(|(index, rule)| InternedRule {
+                                lhs: cx.arena.intern(rule.lhs()),
+                                rhs: cx.arena.intern(rule.rhs()),
+                                index,
+                            })
+                            .collect();
+                        cx.rules[op_index] = Some(compiled);
+                    }
+                    // Split borrows: the compiled rules (shared) and the
+                    // arena (mutable) are disjoint fields of the context.
+                    let RunCx { arena, rules, .. } = cx;
                     let mut fired = None;
-                    for rule in self.rules.for_head(op) {
-                        if let Some(subst) = match_pattern(rule.lhs(), &subject) {
-                            fired = Some((rule, subst));
-                            break;
+                    if let Some(Some(compiled)) = rules.get(op_index) {
+                        for rule in compiled.iter() {
+                            bindings.clear();
+                            if match_id(arena, rule.lhs, subject, &mut bindings) {
+                                fired = Some(rule);
+                                break;
+                            }
                         }
                     }
                     match fired {
-                        Some((rule, subst)) => {
+                        Some(rule) => {
                             st.tick(&self.budget)?;
-                            let contractum = subst.apply(rule.rhs());
+                            let contractum = instantiate(arena, rule.rhs, &bindings);
                             if st.tracing() {
-                                st.note(rule.label(), &subject, &contractum);
+                                let label = self.rules.for_head(op)[rule.index].label();
+                                let redex = arena.to_term(subject);
+                                let contractum_term = arena.to_term(contractum);
+                                st.note(label, &redex, &contractum_term);
                             }
                             current = contractum;
                         }
                         None => return Ok(subject),
                     }
                 }
+            }
+        }
+    }
+
+    /// Rebuilds an application over interned arguments as a plain term,
+    /// for trace output only.
+    fn reify_app(&self, arena: &TermArena, op: OpId, args: &[TermId]) -> Term {
+        Term::App(op, args.iter().map(|&a| arena.to_term(a)).collect())
+    }
+
+    /// The sort of the term `id` denotes, read off its head symbol
+    /// (following `then`-branches through conditionals).
+    ///
+    /// Strict error propagation only needs the *sort* of the poisoned
+    /// conditional; terms reaching the engine were already validated
+    /// when built, so no well-sortedness re-check happens here — and
+    /// unlike `Term::sort` this never recurses into arguments, so it is
+    /// safe on terms of any size.
+    fn branch_sort(&self, arena: &TermArena, mut id: TermId) -> Result<SortId> {
+        let sig = self.spec.sig();
+        loop {
+            match arena.node(id) {
+                TermNode::Var(v) => return Ok(sig.var(*v).sort()),
+                TermNode::Error(s) => return Ok(*s),
+                TermNode::App(op, _) => return Ok(sig.try_op(*op)?.result()),
+                TermNode::Ite(_, t, _) => id = *t,
             }
         }
     }
@@ -1138,6 +1461,44 @@ mod tests {
             q(&spec, "FRONT", vec![qv]),
         );
         assert!(rw.prove_equal(&lhs, &rhs, 4).unwrap().is_proved());
+    }
+
+    #[test]
+    fn deep_ground_terms_exhaust_depth_instead_of_overflowing() {
+        // Before `Fuel::default` carried a depth bound, normalizing a
+        // deep enough ground term recursed off the native stack and
+        // aborted the whole process. It must yield an `Exhausted`
+        // verdict instead. The spawned thread's large stack is for the
+        // *construction and drop* of the 100k-deep input `Term` (whose
+        // drop glue is recursive), not for the evaluator: the evaluator
+        // stops at DEFAULT_MAX_DEPTH levels.
+        std::thread::Builder::new()
+            .stack_size(64 << 20)
+            .spawn(|| {
+                let spec = queue_spec();
+                let rw = Rewriter::new(&spec);
+                let add = spec.sig().find_op("ADD").unwrap();
+                let a = q(&spec, "A", vec![]);
+                // Raw `Term::App` construction: `Signature::apply` would
+                // sort-check every level recursively.
+                let mut t = q(&spec, "NEW", vec![]);
+                for _ in 0..100_000 {
+                    t = Term::App(add, vec![t, a.clone()]);
+                }
+                let front = spec.sig().find_op("FRONT").unwrap();
+                match rw.normalize(&Term::App(front, vec![t])) {
+                    Err(RewriteError::Exhausted { spent, budget }) => {
+                        assert_eq!(spent.cause, adt_core::ExhaustionCause::Depth);
+                        assert_eq!(spent.depth, adt_core::DEFAULT_MAX_DEPTH);
+                        assert_eq!(budget.max_depth, Some(adt_core::DEFAULT_MAX_DEPTH));
+                    }
+                    Err(other) => panic!("expected depth exhaustion, got {other:?}"),
+                    Ok(_) => panic!("expected depth exhaustion, got a normal form"),
+                }
+            })
+            .unwrap()
+            .join()
+            .unwrap();
     }
 
     #[test]

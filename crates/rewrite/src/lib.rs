@@ -57,6 +57,7 @@
 mod critical;
 mod engine;
 mod error;
+mod reference;
 mod rule;
 mod symbolic;
 mod trace;

@@ -18,10 +18,22 @@ use adt_core::Spec;
 /// Parses a fault plan of the form
 /// `"seed=7,panic=1,exhaust=1,slow=2,slow-ms=5"`.
 ///
-/// Every key is optional; unknown keys and malformed values are errors.
-/// An empty string parses to the inert default plan.
+/// Every key is optional but may appear at most once (aliases such as
+/// `panic`/`panics` count as the same key); repeated, unknown, and
+/// malformed entries are errors. An empty string parses to the inert
+/// default plan.
 pub fn parse_fault_plan(text: &str) -> Result<FaultSpec, String> {
     let mut plan = FaultSpec::default();
+    let mut seen: Vec<&'static str> = Vec::new();
+    let mut claim = |canonical: &'static str, spelled: &str| -> Result<(), String> {
+        if seen.contains(&canonical) {
+            return Err(format!(
+                "fault plan key `{spelled}` given more than once (`{canonical}` was already set)"
+            ));
+        }
+        seen.push(canonical);
+        Ok(())
+    };
     for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
         let (key, value) = part
             .split_once('=')
@@ -32,12 +44,28 @@ pub fn parse_fault_plan(text: &str) -> Result<FaultSpec, String> {
                 .map_err(|_| format!("fault plan value `{v}` for `{key}` is not a number"))
         };
         let n = parse(value)?;
-        match key.trim() {
-            "seed" => plan.seed = n,
-            "panic" | "panics" => plan.panics = n as usize,
-            "exhaust" | "exhausts" => plan.exhausts = n as usize,
-            "slow" | "slows" => plan.slows = n as usize,
-            "slow-ms" => plan.slow_ms = n,
+        let key = key.trim();
+        match key {
+            "seed" => {
+                claim("seed", key)?;
+                plan.seed = n;
+            }
+            "panic" | "panics" => {
+                claim("panic", key)?;
+                plan.panics = n as usize;
+            }
+            "exhaust" | "exhausts" => {
+                claim("exhaust", key)?;
+                plan.exhausts = n as usize;
+            }
+            "slow" | "slows" => {
+                claim("slow", key)?;
+                plan.slows = n as usize;
+            }
+            "slow-ms" => {
+                claim("slow-ms", key)?;
+                plan.slow_ms = n;
+            }
             other => {
                 return Err(format!(
                     "unknown fault plan key `{other}` (expected seed, panic, exhaust, slow, slow-ms)"
@@ -265,6 +293,33 @@ mod tests {
         assert!(parse_fault_plan("panic=x").is_err());
         assert!(parse_fault_plan("frobnicate=1").is_err());
         assert!(parse_fault_plan("panic").is_err());
+    }
+
+    #[test]
+    fn plan_parser_rejects_duplicate_keys() {
+        // A literal repeat: the second assignment must not silently win.
+        let err = parse_fault_plan("seed=1,seed=2").unwrap_err();
+        assert!(err.contains("`seed`"), "unhelpful error: {err}");
+        assert!(err.contains("more than once"), "unhelpful error: {err}");
+
+        // An alias pair names the same knob, so it is the same conflict
+        // even though the spellings differ.
+        let err = parse_fault_plan("panic=1,panics=2").unwrap_err();
+        assert!(err.contains("`panics`"), "unhelpful error: {err}");
+        assert!(err.contains("`panic`"), "unhelpful error: {err}");
+
+        for dup in [
+            "exhaust=1,exhausts=1",
+            "slows=1,slow=1",
+            "slow-ms=1,slow-ms=2",
+            "seed=7,panic=1,exhaust=1,panic=1",
+        ] {
+            assert!(parse_fault_plan(dup).is_err(), "accepted `{dup}`");
+        }
+
+        // Distinct keys remain fine in any order.
+        let plan = parse_fault_plan("slows=2,panics=1,seed=9").unwrap();
+        assert_eq!((plan.seed, plan.panics, plan.slows), (9, 1, 2));
     }
 
     #[test]

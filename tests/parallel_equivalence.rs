@@ -5,8 +5,10 @@
 //! merge-order bug.
 
 use adt_check::{check_completeness_jobs, check_consistency_jobs, ProbeConfig};
+use adt_core::display;
+use adt_rewrite::Rewriter;
 use adt_structures::sources;
-use adt_verify::{differential_spec_check, DifferentialConfig};
+use adt_verify::{differential_spec_check, enumerate_terms, DifferentialConfig};
 
 #[test]
 fn completeness_reports_are_identical_across_job_counts() {
@@ -61,6 +63,75 @@ fn the_differential_harness_agrees_on_every_shipped_spec() {
         let spec = adt_dsl::parse(source).unwrap_or_else(|e| panic!("{name}: {}", e.render(source)));
         let report = differential_spec_check(&spec, &cfg);
         assert!(report.passed(), "{name}:\n{}", report.render());
+    }
+}
+
+/// Renders one normalization outcome as a deterministic verdict string,
+/// so engine comparisons are byte-for-byte.
+fn verdict(rw: &Rewriter<'_>, result: adt_rewrite::Result<adt_core::Term>) -> String {
+    match result {
+        Ok(nf) => format!("ok {}", display::term(rw.spec().sig(), &nf)),
+        Err(e) => match e.exhaustion() {
+            Some(spent) => format!("exhausted after {} steps", spent.steps),
+            None => format!("error {e}"),
+        },
+    }
+}
+
+#[test]
+fn all_three_engines_agree_on_every_shipped_spec() {
+    // The arena-backed hot path, the same engine with the shared memo
+    // table enabled, and the pre-arena tree-walking oracle must produce
+    // byte-identical verdicts for every ground probe of every shipped
+    // specification. The memo table and the interning layer are pure
+    // implementation detail; any visible difference is a soundness bug.
+    let mut probes_checked = 0usize;
+    for (name, source) in sources::all() {
+        let spec = adt_dsl::parse(source).unwrap_or_else(|e| panic!("{name}: {}", e.render(source)));
+        let plain = Rewriter::new(&spec);
+        let memo = Rewriter::new(&spec).memoizing();
+        for probe in enumerate_terms(spec.sig(), 2, 6) {
+            let fast = verdict(&plain, plain.normalize(&probe));
+            let memoized = verdict(&memo, memo.normalize(&probe));
+            let oracle = verdict(
+                &plain,
+                plain.normalize_reference(&probe).map(|n| n.term),
+            );
+            let shown = display::term(spec.sig(), &probe);
+            assert_eq!(fast, oracle, "{name}: plain vs reference on `{shown}`");
+            assert_eq!(fast, memoized, "{name}: plain vs memoizing on `{shown}`");
+            // Warm-memo runs must also agree with the first one.
+            let warm = verdict(&memo, memo.normalize(&probe));
+            assert_eq!(memoized, warm, "{name}: cold vs warm memo on `{shown}`");
+            probes_checked += 1;
+        }
+    }
+    assert!(probes_checked > 100, "only {probes_checked} probes enumerated");
+}
+
+#[test]
+fn work_sharing_never_changes_the_normal_form() {
+    // The arena engine normalizes each *shared* ground redex once per
+    // run (hash-consing gives duplicated subterms one identity), so its
+    // step count may undercut the tree-walking oracle's — but never the
+    // result. Pin both halves of that contract.
+    for (name, source) in sources::all() {
+        let spec = adt_dsl::parse(source).unwrap_or_else(|e| panic!("{name}: {}", e.render(source)));
+        let rw = Rewriter::new(&spec);
+        for probe in enumerate_terms(spec.sig(), 2, 4) {
+            let (Ok(fast), Ok(slow)) = (rw.normalize_full(&probe), rw.normalize_reference(&probe))
+            else {
+                continue;
+            };
+            let shown = display::term(spec.sig(), &probe);
+            assert_eq!(fast.term, slow.term, "{name}: `{shown}`");
+            assert!(
+                fast.steps <= slow.steps,
+                "{name}: `{shown}` took {} arena steps but {} reference steps",
+                fast.steps,
+                slow.steps
+            );
+        }
     }
 }
 
