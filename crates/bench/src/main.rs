@@ -20,6 +20,7 @@ use adt_bench::harness::Group;
 use adt_bench::report::{regressions, BenchRecord, BenchReport};
 use adt_bench::workloads::{queue_term, synthetic_spec};
 use adt_check::{check_completeness_jobs, check_consistency_jobs, ProbeConfig};
+use adt_core::Session;
 use adt_rewrite::Rewriter;
 use adt_structures::specs::queue_spec;
 
@@ -233,6 +234,66 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
                     (comp.coverage().len(), cons.pairs_checked())
                 }),
             );
+        }
+    }
+
+    // session_reuse: the same batch of observer checks run N times — once
+    // against a single long-lived session (the CLI/REPL shape: the first
+    // check warms the arena, memo and nf cache for the other N-1), and
+    // once with a fresh session built per check. The shared row carries
+    // the fresh median as its `before_ns`, so the committed JSON records
+    // the reuse speedup directly.
+    {
+        let g = group("session_reuse");
+        let checks = 8usize;
+        let state = queue_term(&spec, 96, 48, 7);
+        let observers: Vec<_> = (0..16)
+            .map(|k| {
+                let op = if k % 2 == 0 { "FRONT" } else { "IS_EMPTY?" };
+                sig.apply(op, vec![state.clone()]).expect("well-sorted")
+            })
+            .collect();
+        let run_checks = |session: &Session| {
+            let rw = Rewriter::for_session(session).with_fuel(1_000_000_000);
+            let mut total = 0usize;
+            for _ in 0..checks {
+                for t in &observers {
+                    let id = session.intern(std::hint::black_box(t));
+                    let nf = rw.normalize_id(session, id).expect("normalizes");
+                    total += usize::from(nf != id);
+                }
+            }
+            total
+        };
+        let fresh = g.bench(&format!("fresh_per_check/{checks}x16"), || {
+            let mut total = 0usize;
+            for _ in 0..checks {
+                let session = Session::new(spec.clone());
+                let rw = Rewriter::for_session(&session).with_fuel(1_000_000_000);
+                for t in &observers {
+                    let id = session.intern(std::hint::black_box(t));
+                    let nf = rw.normalize_id(&session, id).expect("normalizes");
+                    total += usize::from(nf != id);
+                }
+            }
+            total
+        });
+        let shared = g.bench_batched(
+            &format!("one_session/{checks}x16"),
+            || Session::new(spec.clone()),
+            |session| run_checks(&session),
+        );
+        push(
+            "session_reuse",
+            &format!("fresh_per_check/{checks}x16"),
+            fresh,
+        );
+        push("session_reuse", &format!("one_session/{checks}x16"), shared);
+        // Record fresh-per-check as the shared row's "before": the
+        // speedup field then reads as "reuse is this many times faster".
+        let fresh_ns = u64::try_from(fresh.per_iter.as_nanos()).unwrap_or(u64::MAX);
+        if let Some(row) = rows.last_mut() {
+            row.before_ns = Some(fresh_ns);
         }
     }
 

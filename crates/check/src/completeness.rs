@@ -17,7 +17,8 @@ use std::fmt;
 use std::time::Instant;
 
 use adt_core::{
-    display, EngineError, ExhaustionCause, FuelSpent, OpId, Signature, SortId, Spec, Term, VarId,
+    display, EngineError, ExhaustionCause, FuelSpent, OpId, Session, Signature, SortId, Spec, Term,
+    VarId,
 };
 
 use crate::config::CheckConfig;
@@ -401,6 +402,25 @@ pub fn check_completeness_jobs(spec: &Spec, jobs: usize) -> CompletenessReport {
 /// [`Coverage::Exhausted`] — neither can take down the run or disturb
 /// any other operation's verdict.
 pub fn check_completeness_with_config(spec: &Spec, config: &CheckConfig) -> CompletenessReport {
+    completeness_impl(spec, config, None)
+}
+
+/// [`check_completeness_with_config`] running inside a [`Session`]: the
+/// analysis itself is pure pattern arithmetic (the pool's work items are
+/// already ids — the derived [`OpId`]s), but every materialized witness
+/// term is additionally interned into the session arena, so downstream
+/// consumers (consistency probing over the prompts, the differential
+/// harness, the CLI) hold handles into one workspace instead of private
+/// copies. The report is byte-identical to the fresh-spec variant.
+pub fn check_completeness_session(session: &Session, config: &CheckConfig) -> CompletenessReport {
+    completeness_impl(session.spec(), config, Some(session))
+}
+
+fn completeness_impl(
+    spec: &Spec,
+    config: &CheckConfig,
+    session: Option<&Session>,
+) -> CompletenessReport {
     let derived: Vec<OpId> = spec.derived_ops().collect();
     let armed = match &config.faults {
         Some(faults) => faults.arm("completeness", derived.len()),
@@ -463,6 +483,14 @@ pub fn check_completeness_with_config(spec: &Spec, config: &CheckConfig) -> Comp
         };
         let missing: Vec<Term> = materialize_cases(&analysis.missing_cases, &mut sig);
         let frontier: Vec<Term> = materialize_cases(&analysis.frontier_cases, &mut sig);
+        if let Some(session) = session {
+            // Witnesses emit ids too: intern each into the session arena
+            // (hash-consed, so shared structure across witnesses costs
+            // nothing) for id-holding consumers downstream.
+            for witness in missing.iter().chain(frontier.iter()) {
+                session.intern(witness);
+            }
+        }
 
         let exhausted = !frontier.is_empty() || analysis.frontier_truncated > 0;
         coverage.push(OpCoverage {

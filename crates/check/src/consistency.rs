@@ -16,10 +16,11 @@
 //!    particular value combinations.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use adt_core::{
-    display, match_pattern, DetRng, EngineError, Fuel, FuelSpent, OpId, Signature, SortId, Spec,
-    Term,
+    display, match_pattern, DetRng, EngineError, Fuel, FuelSpent, OpId, Session, Signature, SortId,
+    Spec, Term, TermId,
 };
 use adt_rewrite::{classify_superposition, superpositions, PairStatus, RewriteError, Rewriter};
 
@@ -267,6 +268,38 @@ pub fn check_consistency_with_config(
     probe: &ProbeConfig,
     config: &CheckConfig,
 ) -> ConsistencyReport {
+    consistency_impl(spec, probe, config, None)
+}
+
+/// [`check_consistency_with_config`] running inside a [`Session`]: both
+/// phases' rewriters share the session's cross-run memo (facts learned
+/// joining one pair speed up every probe, and persist for later checks),
+/// and probe terms are interned into the session arena so the worker pool
+/// ships [`TermId`]s instead of trees.
+///
+/// Sharing the memo with the pair phase's *extended* rewriter is sound:
+/// [`superpositions`] extends the signature with renamed variables only,
+/// so every operation keeps its index and structural hashes agree.
+/// Reports are byte-identical to [`check_consistency_with_config`]
+/// whenever no probe's exhaustion is fuel-marginal (warm memo facts can
+/// only reduce the steps a normalization spends, which at a tight budget
+/// can turn an `Exhausted` verdict into a normal form); deliberately
+/// tiny-budget rewriters — the exhaust-fault path — therefore never carry
+/// the memo.
+pub fn check_consistency_session(
+    session: &Session,
+    probe: &ProbeConfig,
+    config: &CheckConfig,
+) -> ConsistencyReport {
+    consistency_impl(session.spec(), probe, config, Some(session))
+}
+
+fn consistency_impl(
+    spec: &Spec,
+    probe: &ProbeConfig,
+    config: &CheckConfig,
+    session: Option<&Session>,
+) -> ConsistencyReport {
     let jobs = config.jobs;
     let faults = config.faults.clone().unwrap_or_default();
     let mut contradictions = Vec::new();
@@ -316,8 +349,16 @@ pub fn check_consistency_with_config(
     } else {
         ArmedFaults::none()
     };
-    let ext_rw = Rewriter::new(&set.spec).with_budget(config.fuel);
-    let tiny_pair_rw = ext_rw.clone().with_budget(Fuel::steps(1));
+    let mut ext_rw = Rewriter::new(&set.spec).with_budget(config.fuel);
+    if let Some(session) = session {
+        // Vars-only signature extension: op indices (and so structural
+        // hashes) agree with the session's, so sharing its memo is sound.
+        ext_rw = ext_rw.with_memo(Arc::clone(session.memo()));
+    }
+    // Deliberately memo-less (not a clone of `ext_rw`): the tiny budget
+    // exists to *exhaust* sabotaged items, and a warm memo hit would hand
+    // back the normal form without spending a single step.
+    let tiny_pair_rw = Rewriter::new(&set.spec).with_budget(Fuel::steps(1));
     let pair_run = run_isolated(
         jobs,
         &set.superpositions,
@@ -374,8 +415,12 @@ pub fn check_consistency_with_config(
 
     // Phase 2: randomized ground probing — sequential sampling (the RNG
     // stream is one deterministic sequence), parallel normalization.
-    let rw = Rewriter::new(spec).with_budget(config.fuel);
-    let tiny_rw = rw.clone().with_budget(Fuel::steps(1));
+    let mut rw = Rewriter::new(spec).with_budget(config.fuel);
+    if let Some(session) = session {
+        rw = rw.with_memo(Arc::clone(session.memo()));
+    }
+    // Memo-less for the same reason as `tiny_pair_rw` above.
+    let tiny_rw = Rewriter::new(spec).with_budget(Fuel::steps(1));
     let mut rng = DetRng::new(probe.seed);
     let observers: Vec<OpId> = spec.derived_ops().collect();
     let mut probe_terms = Vec::new();
@@ -393,26 +438,56 @@ pub fn check_consistency_with_config(
     } else {
         ArmedFaults::none()
     };
-    let probe_run = run_isolated(
-        jobs,
-        &probe_terms,
-        |idx, term| {
-            probe_faults.on_item(idx);
-            let rw = if probe_faults.exhausts(idx) {
-                &tiny_rw
-            } else {
-                &rw
-            };
-            probe_divergence(rw, spec.sig(), term)
-        },
-        |idx, term| format!("probe #{idx} ({})", display::term(spec.sig(), term)),
-    );
+    let probe_run = match session {
+        // Session mode: the pool ships interned ids — workers materialize
+        // their own term from the shared arena (an exact round-trip, so
+        // verdict strings match the tree-shipping path byte for byte).
+        Some(session) => {
+            let probe_ids: Vec<TermId> = probe_terms.iter().map(|t| session.intern(t)).collect();
+            run_isolated(
+                jobs,
+                &probe_ids,
+                |idx, &id| {
+                    probe_faults.on_item(idx);
+                    let rw = if probe_faults.exhausts(idx) {
+                        &tiny_rw
+                    } else {
+                        &rw
+                    };
+                    probe_divergence(rw, spec.sig(), &session.term(id))
+                },
+                |idx, &id| {
+                    format!(
+                        "probe #{idx} ({})",
+                        display::term(spec.sig(), &session.term(id))
+                    )
+                },
+            )
+        }
+        None => run_isolated(
+            jobs,
+            &probe_terms,
+            |idx, term| {
+                probe_faults.on_item(idx);
+                let rw = if probe_faults.exhausts(idx) {
+                    &tiny_rw
+                } else {
+                    &rw
+                };
+                probe_divergence(rw, spec.sig(), term)
+            },
+            |idx, term| format!("probe #{idx} ({})", display::term(spec.sig(), term)),
+        ),
+    };
     stats.absorb(&probe_run.busy, probe_run.elapsed, probes_run);
     stats.probes_run = probes_run;
     for (idx, outcome) in probe_run.results.into_iter().enumerate() {
         match outcome {
             ItemOutcome::Done(out) => {
                 stats.rewrite_steps += out.steps;
+                if let Some(session) = session {
+                    session.note_normalization(out.steps);
+                }
                 probe_verdicts.push(match (&out.found, &out.exhausted) {
                     (Some(c), _) => format!(
                         "diverged: {} vs {}",

@@ -23,12 +23,12 @@ use std::fmt::Write as _;
 use std::fs;
 
 use adt_check::{
-    check_completeness_with_config, check_consistency_with_config, classification_warnings,
+    check_completeness_session, check_consistency_session, classification_warnings,
     overlap_warnings, recursion_warnings, CheckConfig, CheckStats, ConsistencyVerdict, FaultSpec,
     ProbeConfig,
 };
-use adt_core::{display, Fuel, Spec};
-use adt_dsl::{parse, parse_term, print_spec};
+use adt_core::{display, Fuel, Session, Spec};
+use adt_dsl::{parse_session, parse_term_id, print_spec};
 use adt_rewrite::{Proof, Rewriter};
 use adt_verify::{fault_isolation_check, parse_fault_plan};
 
@@ -61,7 +61,8 @@ pub const USAGE: &str = "usage:
   adt check [--jobs N] [--stats] [--fuel N] [--faults PLAN] <file.adt>
                                        parse and run the mechanical checks
                                        (--jobs 0 = all cores; --stats prints
-                                       worker/probe telemetry; --fuel caps
+                                       worker/probe and session arena/memo
+                                       telemetry; --fuel caps
                                        rewrite steps per work item; --faults
                                        injects engine faults, e.g.
                                        \"seed=7,panic=1\", and verifies the
@@ -141,13 +142,13 @@ pub fn run(args: &[String]) -> Outcome {
         [cmd, rest @ ..] => match cmd.as_str() {
             "check" => match parse_check_flags(rest) {
                 Ok((opts, positional)) => {
-                    with_file(&positional, 0, |spec, _| cmd_check(spec, &opts))
+                    with_file(&positional, 0, |session, _| cmd_check(session, &opts))
                 }
                 Err(msg) => Outcome::usage(format!("{msg}{USAGE}")),
             },
-            "fmt" => with_file(rest, 0, |spec, _| Outcome::ok(print_spec(spec))),
-            "eval" => with_file(rest, 1, |spec, extra| cmd_eval(spec, &extra[0], false)),
-            "trace" => with_file(rest, 1, |spec, extra| cmd_eval(spec, &extra[0], true)),
+            "fmt" => with_file(rest, 0, |session, _| Outcome::ok(print_spec(session.spec()))),
+            "eval" => with_file(rest, 1, |session, extra| cmd_eval(session, &extra[0], false)),
+            "trace" => with_file(rest, 1, |session, extra| cmd_eval(session, &extra[0], true)),
             "prove" => cmd_prove(rest),
             "help" | "--help" | "-h" => Outcome::ok(USAGE.to_owned()),
             other => Outcome::usage(format!("unknown command `{other}`\n{USAGE}")),
@@ -155,12 +156,13 @@ pub fn run(args: &[String]) -> Outcome {
     }
 }
 
-/// Loads the `.adt` file named by `args[0]`, requires exactly
+/// Loads the `.adt` file named by `args[0]` into one [`Session`] (the
+/// interned workspace every command runs against), requires exactly
 /// `extra_args` further arguments, and hands both to `f`.
 fn with_file(
     args: &[String],
     extra_args: usize,
-    f: impl FnOnce(&Spec, &[String]) -> Outcome,
+    f: impl FnOnce(&Session, &[String]) -> Outcome,
 ) -> Outcome {
     if args.len() != extra_args + 1 {
         return Outcome::usage(USAGE.to_owned());
@@ -170,18 +172,22 @@ fn with_file(
         Ok(s) => s,
         Err(e) => return Outcome::usage(format!("cannot read `{path}`: {e}\n")),
     };
-    match parse(&source) {
-        Ok(spec) => f(&spec, &args[1..]),
+    match parse_session(&source) {
+        Ok(session) => f(&session, &args[1..]),
         Err(diags) => Outcome::fail(diags.render(&source)),
     }
 }
 
-fn cmd_check(spec: &Spec, opts: &CheckOpts) -> Outcome {
+fn cmd_check(session: &Session, opts: &CheckOpts) -> Outcome {
+    let spec = session.spec();
     let mut config = CheckConfig::jobs(opts.jobs);
     if let Some(steps) = opts.fuel {
         config = config.with_fuel(Fuel::steps(steps));
     }
     if let Some(plan) = &opts.faults {
+        // The fault harness injects tiny fuel budgets on purpose; a warm
+        // memo would rescue exhaust-faulted items, so it runs spec-based
+        // with fresh rewriters rather than against the session.
         return cmd_check_faults(spec, plan, &config);
     }
 
@@ -196,7 +202,7 @@ fn cmd_check(spec: &Spec, opts: &CheckOpts) -> Outcome {
     );
     let mut failed = false;
 
-    let completeness = check_completeness_with_config(spec, &config);
+    let completeness = check_completeness_session(session, &config);
     if completeness.has_definite_missing() {
         // Definite negatives fail the check; a merely *partial* analysis
         // (exhausted or faulted) is reported but keeps exit code 0 — the
@@ -215,7 +221,7 @@ fn cmd_check(spec: &Spec, opts: &CheckOpts) -> Outcome {
         let _ = writeln!(out, "sufficiently complete: yes");
     }
 
-    let consistency = check_consistency_with_config(spec, &ProbeConfig::default(), &config);
+    let consistency = check_consistency_session(session, &ProbeConfig::default(), &config);
     match consistency.verdict() {
         ConsistencyVerdict::Consistent => {
             let _ = writeln!(
@@ -269,6 +275,7 @@ fn cmd_check(spec: &Spec, opts: &CheckOpts) -> Outcome {
         stats.probes_run = k.probes_run;
         stats.rewrite_steps = k.rewrite_steps;
         out.push_str(&stats.render());
+        out.push_str(&session.stats().render());
     }
 
     if failed {
@@ -300,28 +307,37 @@ fn cmd_check_faults(spec: &Spec, plan: &FaultSpec, config: &CheckConfig) -> Outc
     }
 }
 
-fn cmd_eval(spec: &Spec, term_src: &str, trace: bool) -> Outcome {
-    let term = match parse_term(spec, term_src) {
-        Ok(t) => t,
+fn cmd_eval(session: &Session, term_src: &str, trace: bool) -> Outcome {
+    let sig = session.sig();
+    // The query is interned into the session arena and materialized once
+    // at the engine boundary; its normal form is recorded back so a later
+    // query against the same session starts warm.
+    let id = match parse_term_id(session, term_src) {
+        Ok(id) => id,
         Err(diags) => return Outcome::fail(diags.render(term_src)),
     };
-    let rw = Rewriter::new(spec);
+    let term = session.term(id);
+    let rw = Rewriter::for_session(session);
     if trace {
         match rw.normalize_traced(&term) {
             Ok((nf, trace)) => {
-                let mut out = trace.render(spec.sig()).to_string();
-                let _ = writeln!(out, "normal form: {}", display::term(spec.sig(), &nf));
+                let mut out = trace.render(sig).to_string();
+                let _ = writeln!(out, "normal form: {}", display::term(sig, &nf));
                 Outcome::ok(out)
             }
             Err(e) => Outcome::fail(format!("{e}\n")),
         }
     } else {
         match rw.normalize_full(&term) {
-            Ok(norm) => Outcome::ok(format!(
-                "{}   ({} step(s))\n",
-                display::term(spec.sig(), &norm.term),
-                norm.steps
-            )),
+            Ok(norm) => {
+                session.record_nf(id, session.intern(&norm.term));
+                session.note_normalization(norm.steps);
+                Outcome::ok(format!(
+                    "{}   ({} step(s))\n",
+                    display::term(sig, &norm.term),
+                    norm.steps
+                ))
+            }
             Err(e) => Outcome::fail(format!("{e}\n")),
         }
     }
@@ -337,19 +353,20 @@ fn cmd_prove(args: &[String]) -> Outcome {
         Ok(s) => s,
         Err(e) => return Outcome::usage(format!("cannot read `{file}`: {e}\n")),
     };
-    let spec = match parse(&source) {
+    let session = match parse_session(&source) {
         Ok(s) => s,
         Err(diags) => return Outcome::fail(diags.render(&source)),
     };
-    let lhs = match parse_term(&spec, lhs_src) {
-        Ok(t) => t,
+    let spec = session.spec();
+    let lhs = match parse_term_id(&session, lhs_src) {
+        Ok(id) => session.term(id),
         Err(diags) => return Outcome::fail(diags.render(lhs_src)),
     };
-    let rhs = match parse_term(&spec, rhs_src) {
-        Ok(t) => t,
+    let rhs = match parse_term_id(&session, rhs_src) {
+        Ok(id) => session.term(id),
         Err(diags) => return Outcome::fail(diags.render(rhs_src)),
     };
-    let rw = Rewriter::new(&spec);
+    let rw = Rewriter::for_session(&session);
     match rw.prove_equal(&lhs, &rhs, 8) {
         Ok(Proof::Proved { cases }) => Outcome::ok(format!("proved ({cases} case(s))\n")),
         Ok(Proof::Undecided {
@@ -457,6 +474,17 @@ end
         assert_eq!(out.code, 0, "{}", out.output);
         assert!(out.output.contains("stats: 4 job(s)"), "{}", out.output);
         assert!(out.output.contains("utilization"), "{}", out.output);
+        assert!(out.output.contains("stats: session arena"), "{}", out.output);
+        assert!(out.output.contains("stats: session memo"), "{}", out.output);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_without_stats_prints_no_telemetry() {
+        let path = fixture("nostats", QUEUE);
+        let out = run(&args(&["check", path.to_str().unwrap()]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(!out.output.contains("stats:"), "{}", out.output);
         let _ = fs::remove_file(path);
     }
 

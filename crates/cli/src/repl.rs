@@ -17,7 +17,8 @@ use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
 
-use adt_core::{display, Spec, Subst, Term};
+use adt_check::{CheckConfig, ProbeConfig};
+use adt_core::{display, Session, Spec, Subst, Term};
 use adt_dsl::{lower_term_in, parse_term_source, Diagnostics};
 use adt_rewrite::{Proof, Rewriter};
 
@@ -31,12 +32,29 @@ const REPL_HELP: &str = "commands:
   :check                run the completeness and consistency checkers
   :vars                 list bound session variables
   :axioms               list the specification's axioms
+  :stats                show session arena/memo telemetry
+  :reset                drop the session (bindings, arena and memo)
   :help                 this text
   :quit                 leave
 ";
 
+/// What the REPL loop should do after a dispatched line.
+enum ReplAction {
+    /// Keep going with the same session.
+    Continue,
+    /// Leave the REPL.
+    Quit,
+    /// Drop the session (arena, memo, bindings) and start a fresh one.
+    Reset,
+}
+
 /// Runs the REPL over `input`, writing to `output`. Returns the number of
 /// commands executed (used by tests; the binary ignores it).
+///
+/// One [`Session`] lives for the whole REPL lifetime: every line's
+/// rewriter borrows its compiled rules and shares its memo, so normal
+/// forms derived on one line stay warm for the next. `:reset` is the
+/// explicit way to drop that state.
 ///
 /// # Errors
 ///
@@ -46,7 +64,7 @@ pub fn run_repl(
     input: &mut dyn BufRead,
     output: &mut dyn Write,
 ) -> std::io::Result<usize> {
-    let rw = Rewriter::new(spec);
+    let mut session = Session::new(spec.clone());
     let mut env: HashMap<String, Term> = HashMap::new();
     let mut executed = 0;
     let prompt = spec.name().to_lowercase();
@@ -66,13 +84,18 @@ pub fn run_repl(
         }
         executed += 1;
         let mut reply = String::new();
-        match dispatch(spec, &rw, &mut env, line, &mut reply) {
-            Ok(true) => {
+        match dispatch(&session, &mut env, line, &mut reply) {
+            Ok(ReplAction::Continue) => {
                 output.write_all(reply.as_bytes())?;
             }
-            Ok(false) => {
+            Ok(ReplAction::Quit) => {
                 output.write_all(reply.as_bytes())?;
                 return Ok(executed);
+            }
+            Ok(ReplAction::Reset) => {
+                session = Session::new(spec.clone());
+                env.clear();
+                output.write_all(reply.as_bytes())?;
             }
             Err(diags) => {
                 writeln!(output, "{}", diags.render(line).trim_end())?;
@@ -81,22 +104,30 @@ pub fn run_repl(
     }
 }
 
-/// Executes one REPL line into `reply`; `Ok(false)` means quit.
+/// Executes one REPL line into `reply`.
 fn dispatch(
-    spec: &Spec,
-    rw: &Rewriter<'_>,
+    session: &Session,
     env: &mut HashMap<String, Term>,
     line: &str,
     reply: &mut String,
-) -> Result<bool, Diagnostics> {
+) -> Result<ReplAction, Diagnostics> {
+    let spec = session.spec();
+    // Cheap per line (a rule-set clone); the memo behind it is the
+    // session's, so rewrites on earlier lines keep paying off here.
+    let rw = Rewriter::for_session(session);
     if let Some(rest) = line.strip_prefix(':') {
         let (cmd, arg) = match rest.split_once(char::is_whitespace) {
             Some((c, a)) => (c, a.trim()),
             None => (rest, ""),
         };
         match cmd {
-            "quit" | "q" => return Ok(false),
+            "quit" | "q" => return Ok(ReplAction::Quit),
             "help" | "h" => reply.push_str(REPL_HELP),
+            "reset" => {
+                reply.push_str("session reset: bindings, arena and memo dropped\n");
+                return Ok(ReplAction::Reset);
+            }
+            "stats" => reply.push_str(&session.stats().render()),
             "vars" => {
                 if env.is_empty() {
                     reply.push_str("no session variables bound\n");
@@ -125,7 +156,8 @@ fn dispatch(
                 }
             }
             "check" => {
-                let completeness = adt_check::check_completeness(spec);
+                let config = CheckConfig::jobs(1);
+                let completeness = adt_check::check_completeness_session(session, &config);
                 if completeness.is_sufficiently_complete() {
                     reply.push_str("sufficiently complete: yes\n");
                 } else {
@@ -134,7 +166,8 @@ fn dispatch(
                         let _ = writeln!(reply, "  {line}");
                     }
                 }
-                let consistency = adt_check::check_consistency(spec);
+                let consistency =
+                    adt_check::check_consistency_session(session, &ProbeConfig::default(), &config);
                 let _ = writeln!(
                     reply,
                     "consistent: {}",
@@ -149,19 +182,20 @@ fn dispatch(
                 // :induct <var> <lhs> = <rhs>
                 let Some((var_name, equation)) = arg.split_once(char::is_whitespace) else {
                     reply.push_str("usage: :induct <var> <term> = <term>\n");
-                    return Ok(true);
+                    return Ok(ReplAction::Continue);
                 };
                 let Some((lhs_src, rhs_src)) = equation.split_once('=') else {
                     reply.push_str("usage: :induct <var> <term> = <term>\n");
-                    return Ok(true);
+                    return Ok(ReplAction::Continue);
                 };
                 let Some(var) = spec.sig().find_var(var_name.trim()) else {
                     let _ = writeln!(reply, "unknown specification variable `{var_name}`");
-                    return Ok(true);
+                    return Ok(ReplAction::Continue);
                 };
                 let lhs = parse_in_env(spec, env, lhs_src.trim())?;
                 let rhs = parse_in_env(spec, env, rhs_src.trim())?;
-                match adt_verify::prove_by_induction(spec, &lhs, &rhs, var, 8) {
+                let (lhs_id, rhs_id) = (session.intern(&lhs), session.intern(&rhs));
+                match adt_verify::prove_by_induction_session(session, lhs_id, rhs_id, var, 8) {
                     Ok(adt_verify::InductionOutcome::Proved { cases }) => {
                         let names: Vec<&str> = cases.iter().map(|(n, _)| n.as_str()).collect();
                         let _ =
@@ -185,7 +219,7 @@ fn dispatch(
             "prove" => {
                 let Some((lhs_src, rhs_src)) = arg.split_once('=') else {
                     reply.push_str("usage: :prove <term> = <term>\n");
-                    return Ok(true);
+                    return Ok(ReplAction::Continue);
                 };
                 let lhs = parse_in_env(spec, env, lhs_src.trim())?;
                 let rhs = parse_in_env(spec, env, rhs_src.trim())?;
@@ -210,7 +244,7 @@ fn dispatch(
                 let _ = writeln!(reply, "unknown command `:{other}` (try :help)");
             }
         }
-        return Ok(true);
+        return Ok(ReplAction::Continue);
     }
 
     // `NAME := term` or a bare term.
@@ -218,24 +252,27 @@ fn dispatch(
         let name = name.trim();
         if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
             let _ = writeln!(reply, "bad session variable name `{name}`");
-            return Ok(true);
+            return Ok(ReplAction::Continue);
         }
         let term = parse_in_env(spec, env, term_src.trim())?;
-        match rw.normalize(&term) {
-            Ok(nf) => {
-                let _ = writeln!(reply, "{name} = {}", display::term(spec.sig(), &nf));
-                env.insert(name.to_owned(), nf);
+        match rw.normalize_full(&term) {
+            Ok(norm) => {
+                session.note_normalization(norm.steps);
+                let _ = writeln!(reply, "{name} = {}", display::term(spec.sig(), &norm.term));
+                env.insert(name.to_owned(), norm.term);
             }
             Err(e) => {
                 let _ = writeln!(reply, "{e}");
             }
         }
-        return Ok(true);
+        return Ok(ReplAction::Continue);
     }
 
     let term = parse_in_env(spec, env, line)?;
     match rw.normalize_full(&term) {
         Ok(norm) => {
+            session.record_nf(session.intern(&term), session.intern(&norm.term));
+            session.note_normalization(norm.steps);
             let _ = writeln!(
                 reply,
                 "{}   ({} step(s))",
@@ -247,7 +284,7 @@ fn dispatch(
             let _ = writeln!(reply, "{e}");
         }
     }
-    Ok(true)
+    Ok(ReplAction::Continue)
 }
 
 /// Parses a term that may mention session variables: the signature is
@@ -390,6 +427,33 @@ end
         let out = drive(":induct zz FRONT(NEW) = error\n:induct q FRONT(NEW)\n:quit\n");
         assert!(out.contains("unknown specification variable `zz`"), "{out}");
         assert!(out.contains("usage: :induct"), "{out}");
+    }
+
+    #[test]
+    fn session_persists_across_lines_and_stats_sees_it() {
+        // Two evaluations plus telemetry: the session counts both, and
+        // the second run of the same term hits the memo warmed by the
+        // first — the whole point of keeping one session per REPL.
+        let out = drive("FRONT(ADD(NEW, A))\nFRONT(ADD(NEW, A))\n:stats\n:quit\n");
+        assert!(out.contains("stats: session arena"), "{out}");
+        assert!(out.contains("2 normalization(s)"), "{out}");
+        let memo_line = out
+            .lines()
+            .find(|l| l.contains("stats: session memo"))
+            .expect("stats prints a memo line");
+        let cross_run = memo_line
+            .split("nf-cache")
+            .next()
+            .expect("memo line has a cross-run half");
+        assert!(!cross_run.contains(" 0 hit(s)"), "{memo_line}");
+    }
+
+    #[test]
+    fn reset_drops_bindings_and_telemetry() {
+        let out = drive("x := ADD(NEW, A)\nFRONT(x)\n:reset\n:vars\n:stats\n:quit\n");
+        assert!(out.contains("session reset"), "{out}");
+        assert!(out.contains("no session variables bound"), "{out}");
+        assert!(out.contains("0 normalization(s)"), "{out}");
     }
 
     #[test]

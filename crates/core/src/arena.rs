@@ -171,6 +171,34 @@ impl TermArena {
         self.nodes.is_empty()
     }
 
+    /// Approximate heap footprint of the arena in bytes: node and meta
+    /// storage, argument slices, and the dedup table. Telemetry only —
+    /// counts capacities where cheap to read, so it tracks allocations,
+    /// not live data.
+    pub fn approx_bytes(&self) -> usize {
+        let args: usize = self
+            .nodes
+            .iter()
+            .map(|n| match n {
+                TermNode::App(_, args) => args.len() * std::mem::size_of::<TermId>(),
+                _ => 0,
+            })
+            .sum();
+        let dedup: usize = self
+            .dedup
+            .values()
+            .map(|bucket| {
+                std::mem::size_of::<u64>()
+                    + std::mem::size_of::<Vec<TermId>>()
+                    + bucket.capacity() * std::mem::size_of::<TermId>()
+            })
+            .sum();
+        self.nodes.capacity() * std::mem::size_of::<TermNode>()
+            + self.meta.capacity() * std::mem::size_of::<Meta>()
+            + args
+            + dedup
+    }
+
     /// The node an id denotes.
     ///
     /// # Panics

@@ -63,6 +63,10 @@ mod fuel;
 mod ids;
 mod matching;
 mod rng;
+#[cfg_attr(not(test), deny(clippy::unwrap_used))]
+mod rules;
+#[cfg_attr(not(test), deny(clippy::unwrap_used))]
+mod session;
 mod signature;
 mod spec;
 mod subst;
@@ -78,6 +82,8 @@ pub use fuel::{ExhaustionCause, Fuel, FuelSpent, DEFAULT_FUEL_STEPS, DEFAULT_MAX
 pub use ids::{OpId, SortId, VarId};
 pub use matching::{match_pattern, match_pattern_at_root};
 pub use rng::DetRng;
+pub use rules::{Rule, RuleSet};
+pub use session::{Session, SessionStats, ShardedMemo};
 pub use signature::{OpInfo, Signature, SortInfo, VarInfo};
 pub use spec::{Spec, SpecBuilder};
 pub use subst::Subst;

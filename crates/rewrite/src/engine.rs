@@ -26,14 +26,22 @@
 //! observable behaviour — normal forms, step counts, traces, exhaustion
 //! receipts — is byte-identical to the tree-walking evaluator it
 //! replaced.
+//!
+//! # The session surface
+//!
+//! A [`Session`] owns the cross-check shared state (spec, compiled rules,
+//! a long-lived arena, the sharded memo). [`Rewriter::for_session`] builds
+//! a rewriter that *borrows* all of it, and the id-native entry points
+//! ([`normalize_id`], [`normalize_ids`], [`Rewriter::normalize_id`])
+//! accept and return session [`TermId`]s, so callers can hold interned
+//! handles end-to-end and only materialize trees when a report needs one.
 
-use std::collections::HashMap;
-use std::hash::{BuildHasherDefault, Hasher};
-use std::sync::Mutex;
+use std::sync::Arc;
 use std::time::Instant;
 
 use adt_core::{
-    ExhaustionCause, Fuel, FuelSpent, OpId, SortId, Spec, Term, TermArena, TermId, TermNode, VarId,
+    ExhaustionCause, Fuel, FuelSpent, OpId, Session, ShardedMemo, SortId, Spec, Term, TermArena,
+    TermId, TermNode, VarId,
 };
 
 use crate::error::RewriteError;
@@ -226,118 +234,13 @@ pub struct Rewriter<'a> {
     spec: &'a Spec,
     rules: RuleSet,
     budget: Fuel,
-    memo: Option<ShardedMemo>,
-}
-
-/// Number of lock shards in the memo table. Sixteen keeps contention low
-/// for every worker-pool width this workspace uses while costing only a
-/// few hundred bytes when idle.
-const MEMO_SHARDS: usize = 16;
-
-/// Passes an already-mixed `u64` key through unchanged: the memo is keyed
-/// by [`TermArena::structural_hash`] values, which are well scrambled by
-/// construction, so SipHash on top would only add latency to every probe.
-#[derive(Default)]
-struct PassthroughHasher(u64);
-
-impl Hasher for PassthroughHasher {
-    #[inline]
-    fn finish(&self) -> u64 {
-        self.0
-    }
-
-    fn write(&mut self, _bytes: &[u8]) {
-        unreachable!("PassthroughHasher only hashes u64 keys");
-    }
-
-    #[inline]
-    fn write_u64(&mut self, i: u64) {
-        self.0 = i;
-    }
-}
-
-type MemoShard = HashMap<u64, Vec<(Term, Term)>, BuildHasherDefault<PassthroughHasher>>;
-
-/// A sharded, mutex-guarded normal-form cache.
-///
-/// Entries are keyed by the *arena-independent* structural hash of a
-/// ground term ([`TermArena::structural_hash`]), with hash collisions
-/// resolved by structural comparison against the stored key. Keys and
-/// values are stored as plain [`Term`]s, never as arena ids: ids are
-/// run-local and the cache outlives every run (and is shared across
-/// worker threads), so terms are re-derived at the cache boundary.
-///
-/// Entries are distributed across [`MEMO_SHARDS`] independent
-/// `Mutex<HashMap>` shards by hash, so concurrent `normalize` calls from
-/// a worker pool mostly lock disjoint shards. The cache stores only
-/// context-free facts (ground term → normal form), so any interleaving of
-/// insertions yields the same lookups — sharing one memo across threads
-/// cannot change results.
-#[derive(Debug, Default)]
-struct ShardedMemo {
-    shards: Vec<Mutex<MemoShard>>,
-}
-
-impl ShardedMemo {
-    fn new() -> Self {
-        ShardedMemo {
-            shards: (0..MEMO_SHARDS)
-                .map(|_| Mutex::new(MemoShard::default()))
-                .collect(),
-        }
-    }
-
-    fn shard(&self, hash: u64) -> &Mutex<MemoShard> {
-        &self.shards[(hash as usize) % MEMO_SHARDS]
-    }
-
-    fn get(&self, arena: &TermArena, id: TermId) -> Option<Term> {
-        let hash = arena.structural_hash(id);
-        let guard = self
-            .shard(hash)
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        guard
-            .get(&hash)?
-            .iter()
-            .find(|(key, _)| arena.term_eq(id, key))
-            .map(|(_, nf)| nf.clone())
-    }
-
-    fn insert(&self, arena: &TermArena, id: TermId, nf: TermId) {
-        let hash = arena.structural_hash(id);
-        let key = arena.to_term(id);
-        let value = arena.to_term(nf);
-        let mut guard = self
-            .shard(hash)
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        let bucket = guard.entry(hash).or_default();
-        // Another worker may have raced us to the same fact; the check
-        // and the push happen under one shard lock, so buckets never
-        // hold duplicate keys.
-        if !bucket.iter().any(|(existing, _)| existing == &key) {
-            bucket.push((key, value));
-        }
-    }
-}
-
-impl Clone for ShardedMemo {
-    fn clone(&self) -> Self {
-        ShardedMemo {
-            shards: self
-                .shards
-                .iter()
-                .map(|s| {
-                    Mutex::new(
-                        s.lock()
-                            .unwrap_or_else(std::sync::PoisonError::into_inner)
-                            .clone(),
-                    )
-                })
-                .collect(),
-        }
-    }
+    /// The cross-run ground-term memo ([`adt_core::ShardedMemo`] — it
+    /// lives in `adt-core` so a [`Session`] can own it). Held behind an
+    /// `Arc`: cloning a memoizing rewriter *shares* the memo (clones are
+    /// how callers derive same-rules variants, e.g. with a different
+    /// budget, and facts stay valid across those), and
+    /// [`Rewriter::for_session`] shares the session's memo the same way.
+    memo: Option<Arc<ShardedMemo>>,
 }
 
 /// A rule whose sides are interned into the run's arena, paired with its
@@ -515,6 +418,33 @@ impl<'a> Rewriter<'a> {
         }
     }
 
+    /// Creates a rewriter that borrows a [`Session`]'s world: its spec,
+    /// a copy of its compiled rules, and (shared, not copied) its
+    /// cross-run memo. This is the constructor that makes
+    /// [`Rewriter::normalize_id`] eligible to record into the session's
+    /// normal-form cache — the rules are the session's by construction.
+    pub fn for_session(session: &'a Session) -> Self {
+        Rewriter {
+            spec: session.spec(),
+            rules: session.rules().clone(),
+            budget: Fuel::default(),
+            memo: Some(Arc::clone(session.memo())),
+        }
+    }
+
+    /// Attaches an existing cross-run memo (shared, not copied).
+    ///
+    /// Sharing a memo between rewriters is sound only when their rule
+    /// sets agree and their signatures assign the same [`OpId`] indices
+    /// to the same operations (the memo is keyed by structural hashes,
+    /// which bake in op indices). Extending a signature with variables
+    /// only preserves both; minting operations or adding rules does not.
+    #[must_use]
+    pub fn with_memo(mut self, memo: Arc<ShardedMemo>) -> Self {
+        self.memo = Some(memo);
+        self
+    }
+
     /// Enables ground-subterm memoization: the normal form of every
     /// ground subterm encountered is cached for the lifetime of this
     /// rewriter (across `normalize` calls).
@@ -529,10 +459,12 @@ impl<'a> Rewriter<'a> {
     /// arena-independent structural hash, so a memoizing rewriter is
     /// `Sync`: the parallel checking engine shares one rewriter (and one
     /// cache) across its worker threads, and facts learned in one run's
-    /// arena are found from every other run.
+    /// arena are found from every other run. Clones of a memoizing
+    /// rewriter share the same memo (see [`Rewriter::with_memo`] for the
+    /// sharing rules).
     #[must_use]
     pub fn memoizing(mut self) -> Self {
-        self.memo = Some(ShardedMemo::new());
+        self.memo = Some(Arc::new(ShardedMemo::new()));
         self
     }
 
@@ -592,7 +524,51 @@ impl<'a> Rewriter<'a> {
         Ok(self.run(term, None, &[])?.0)
     }
 
+    /// Normalizes a session-interned term, returning the session id of
+    /// its normal form.
+    ///
+    /// The session's id-keyed normal-form cache is consulted first (a
+    /// hit costs one map probe, no evaluation, and no fuel); on a miss
+    /// the term is materialized under the session's read lock, run
+    /// through the ordinary hot path — a run-local arena plus the
+    /// session's shared cross-run memo, if this rewriter carries it —
+    /// and the normal form is interned back and recorded, along with
+    /// the step count, in the session's counters.
+    ///
+    /// **Contract:** this rewriter's rules must equal the session's
+    /// (guaranteed by [`Rewriter::for_session`]); otherwise the recorded
+    /// normal forms would poison the session cache for every other
+    /// caller. Budgets may differ: a successful normal form is the same
+    /// under any budget that reaches it. Conversely, a caller relying on
+    /// exhaustion at a *tiny* budget (fault injection) must not route
+    /// through the session — a cache or memo hit would return the normal
+    /// form without spending the fuel the caller expects to run out.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Rewriter::normalize`].
+    pub fn normalize_id(&self, session: &Session, id: TermId) -> Result<TermId> {
+        if let Some(nf) = session.cached_nf(id) {
+            return Ok(nf);
+        }
+        let term = session.term(id);
+        let (norm, _) = self.run(&term, None, &[])?;
+        let nf = session.intern(&norm.term);
+        session.record_nf(id, nf);
+        session.note_normalization(norm.steps);
+        Ok(nf)
+    }
+
     /// Normalizes a term, recording every step in a [`Trace`].
+    ///
+    /// This routes through the same run-local arena hot path as
+    /// [`Rewriter::normalize`] — terms are interned and rewritten by id,
+    /// not tree-walked — so traced and untraced runs reach the same
+    /// normal form by construction. What tracing changes is caching: a
+    /// cache or memo hit would deliver a normal form *without* the
+    /// derivation steps the trace exists to record, so traced runs skip
+    /// both the run cache and the cross-run memo and re-derive every
+    /// reduction.
     ///
     /// # Errors
     ///
@@ -604,6 +580,15 @@ impl<'a> Rewriter<'a> {
 
     /// Normalizes a term under contextual truth assumptions about stuck
     /// boolean terms.
+    ///
+    /// Assumptions are interned into the same run-local arena as the
+    /// subject term, and evaluation runs on the identical id-native hot
+    /// path as [`Rewriter::normalize`]. Subterms evaluated under a
+    /// non-empty assumption context are excluded from the run cache and
+    /// the cross-run memo: a normal form that is only valid because
+    /// `ISSAME?(id, id1) = true` was assumed must not be replayed in a
+    /// context where it wasn't. The reference-engine counterpart is
+    /// [`Rewriter::normalize_under_reference`].
     ///
     /// # Errors
     ///
@@ -628,6 +613,13 @@ impl<'a> Rewriter<'a> {
     /// §4: when normal forms still contain symbolic conditions such as
     /// `ISSAME?(id, id1)`, the prover considers both truth values of the
     /// first stuck condition and recursively closes each case.
+    ///
+    /// Every normalization inside the proof search runs on the shared
+    /// run-local arena hot path (see [`Rewriter::normalize_under`] for
+    /// how assumption contexts interact with the caches), so the proof a
+    /// memoizing or session-backed rewriter finds is identical to a
+    /// plain one's — the caches can change how much work is repeated,
+    /// never which [`Proof`] comes back.
     ///
     /// # Errors
     ///
@@ -997,6 +989,34 @@ fn first_stuck_cond(term: &Term) -> Option<&Term> {
         Term::App(_, args) => args.iter().find_map(first_stuck_cond),
         _ => None,
     }
+}
+
+/// Normalizes a session-interned term with a rewriter borrowed from the
+/// session (its rules, its memo, the default budget), returning the
+/// session id of the normal form.
+///
+/// Convenience wrapper over [`Rewriter::for_session`] +
+/// [`Rewriter::normalize_id`]; callers issuing many calls should build
+/// the rewriter once (or use [`normalize_ids`]) to amortize the rule-set
+/// copy.
+///
+/// # Errors
+///
+/// As for [`Rewriter::normalize`].
+pub fn normalize_id(session: &Session, id: TermId) -> Result<TermId> {
+    Rewriter::for_session(session).normalize_id(session, id)
+}
+
+/// Normalizes a batch of session-interned terms through one borrowed
+/// rewriter, returning normal-form ids in input order (failing fast on
+/// the first error).
+///
+/// # Errors
+///
+/// As for [`Rewriter::normalize`].
+pub fn normalize_ids(session: &Session, ids: &[TermId]) -> Result<Vec<TermId>> {
+    let rw = Rewriter::for_session(session);
+    ids.iter().map(|&id| rw.normalize_id(session, id)).collect()
 }
 
 /// Counts the conditional nodes remaining in a term — a quick measure of
@@ -1499,6 +1519,101 @@ mod tests {
             .unwrap()
             .join()
             .unwrap();
+    }
+
+    #[test]
+    fn session_normalize_id_agrees_with_tree_normalize() {
+        let spec = queue_spec();
+        let session = Session::new(spec.clone());
+        let plain = Rewriter::new(&spec);
+        let qv = Term::Var(spec.sig().find_var("q").unwrap());
+        let mut ground = q(&spec, "NEW", vec![]);
+        for name in ["A", "B", "C"] {
+            ground = q(&spec, "ADD", vec![ground, q(&spec, name, vec![])]);
+        }
+        let samples = vec![
+            q(&spec, "FRONT", vec![ground.clone()]),
+            q(&spec, "REMOVE", vec![ground.clone()]),
+            q(&spec, "IS_EMPTY?", vec![q(&spec, "NEW", vec![])]),
+            // Symbolic terms flow through the same path.
+            q(&spec, "FRONT", vec![qv]),
+        ];
+        for t in &samples {
+            let id = session.intern(t);
+            let nf_id = super::normalize_id(&session, id).unwrap();
+            assert_eq!(session.term(nf_id), plain.normalize(t).unwrap(), "{t:?}");
+        }
+        let stats = session.stats();
+        assert_eq!(stats.normalizations, samples.len() as u64);
+        assert!(stats.rewrite_steps > 0);
+    }
+
+    #[test]
+    fn session_nf_cache_short_circuits_repeat_queries() {
+        let spec = queue_spec();
+        let session = Session::new(spec.clone());
+        let rw = Rewriter::for_session(&session);
+        let mut ground = q(&spec, "NEW", vec![]);
+        for name in ["A", "B", "C", "A"] {
+            ground = q(&spec, "ADD", vec![ground, q(&spec, name, vec![])]);
+        }
+        let front = q(&spec, "FRONT", vec![ground]);
+        let id = session.intern(&front);
+        let first = rw.normalize_id(&session, id).unwrap();
+        let before = session.stats();
+        let second = rw.normalize_id(&session, id).unwrap();
+        assert_eq!(first, second);
+        let after = session.stats();
+        assert_eq!(after.nf_cache_hits, before.nf_cache_hits + 1);
+        assert_eq!(
+            after.normalizations, before.normalizations,
+            "a cache hit runs no evaluation"
+        );
+        // A normal form is its own normal form, without evaluation.
+        assert_eq!(rw.normalize_id(&session, first).unwrap(), first);
+    }
+
+    #[test]
+    fn session_memo_is_shared_across_for_session_rewriters() {
+        let spec = queue_spec();
+        let session = Session::new(spec.clone());
+        let mut ground = q(&spec, "NEW", vec![]);
+        for name in ["A", "B", "C", "A", "B"] {
+            ground = q(&spec, "ADD", vec![ground, q(&spec, name, vec![])]);
+        }
+        let front = q(&spec, "FRONT", vec![ground]);
+        // Warm the session memo through one borrowed rewriter…
+        let warm = Rewriter::for_session(&session);
+        let want = warm.normalize(&front).unwrap();
+        // …then a *fresh* borrowed rewriter sees the warm facts: the
+        // second run answers from the memo in zero steps.
+        let cold = Rewriter::for_session(&session);
+        let norm = cold.normalize_full(&front).unwrap();
+        assert_eq!(norm.term, want);
+        assert_eq!(norm.steps, 0, "cross-rewriter memo hit");
+        assert!(session.stats().memo_hits > 0);
+    }
+
+    #[test]
+    fn normalize_ids_batches_in_input_order() {
+        let spec = queue_spec();
+        let session = Session::new(spec.clone());
+        let terms = [
+            q(&spec, "IS_EMPTY?", vec![q(&spec, "NEW", vec![])]),
+            q(
+                &spec,
+                "FRONT",
+                vec![q(
+                    &spec,
+                    "ADD",
+                    vec![q(&spec, "NEW", vec![]), q(&spec, "A", vec![])],
+                )],
+            ),
+        ];
+        let ids: Vec<_> = terms.iter().map(|t| session.intern(t)).collect();
+        let nfs = super::normalize_ids(&session, &ids).unwrap();
+        assert_eq!(session.term(nfs[0]), spec.sig().tt());
+        assert_eq!(session.term(nfs[1]), q(&spec, "A", vec![]));
     }
 
     #[test]

@@ -46,6 +46,23 @@ impl Rewriter<'_> {
         })
     }
 
+    /// [`Rewriter::normalize_under`] with the reference (tree-walking)
+    /// evaluator: the same contextual-assumption semantics, executed
+    /// without arenas or caches. The cross-engine equivalence suite uses
+    /// this to pin the fast path's assumption handling.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Rewriter::normalize`].
+    pub fn normalize_under_reference(
+        &self,
+        term: &Term,
+        asms: &[(Term, bool)],
+    ) -> Result<Term> {
+        let mut st = EvalState::new(&self.budget(), None);
+        self.reference_eval(term.clone(), &mut st, &asms.to_vec())
+    }
+
     fn reference_eval(
         &self,
         term: Term,

@@ -5,7 +5,7 @@
 //! merge-order bug.
 
 use adt_check::{check_completeness_jobs, check_consistency_jobs, ProbeConfig};
-use adt_core::display;
+use adt_core::{display, Fuel, Session, Term};
 use adt_rewrite::Rewriter;
 use adt_structures::sources;
 use adt_verify::{differential_spec_check, enumerate_terms, DifferentialConfig};
@@ -142,4 +142,126 @@ fn zero_jobs_means_all_cores_and_still_matches() {
     let auto = check_completeness_jobs(&spec, 0);
     assert_eq!(seq.coverage(), auto.coverage());
     assert_eq!(seq.prompts(), auto.prompts());
+}
+
+/// The first stuck `if` condition anywhere in a term, if one exists —
+/// the test-local analogue of the prover's internal case-split picker,
+/// used to manufacture meaningful assumption contexts from shipped
+/// specifications.
+fn first_ite_cond(term: &Term) -> Option<&Term> {
+    match term {
+        Term::Var(_) | Term::Error(_) => None,
+        Term::Ite(ite) => Some(&ite.cond),
+        Term::App(_, args) => args.iter().find_map(first_ite_cond),
+    }
+}
+
+#[test]
+fn traced_runs_reach_the_same_normal_form_on_every_engine() {
+    // `normalize_traced` shares the run-local arena hot path with
+    // `normalize`; tracing only switches the caches off so every
+    // derivation step is re-derived and recorded. The observable
+    // contract: the traced normal form equals the untraced one on the
+    // plain, memoizing, and session-backed engines — including after
+    // the memo has been warmed, when a cache hit could otherwise
+    // short-circuit the derivation the trace exists to capture.
+    for (name, source) in sources::all() {
+        let spec = adt_dsl::parse(source).unwrap_or_else(|e| panic!("{name}: {}", e.render(source)));
+        let session = Session::new(spec.clone());
+        let plain = Rewriter::new(&spec);
+        let memo = Rewriter::new(&spec).memoizing();
+        let shared = Rewriter::for_session(&session);
+        for probe in enumerate_terms(spec.sig(), 2, 4) {
+            let Ok(base) = plain.normalize(&probe) else {
+                continue;
+            };
+            let shown = display::term(spec.sig(), &probe);
+            for (engine, rw) in [("plain", &plain), ("memoizing", &memo), ("session", &shared)] {
+                let (nf, _) = rw.normalize_traced(&probe).unwrap();
+                assert_eq!(nf, base, "{name}: traced {engine} on `{shown}`");
+            }
+            // Warm the memo, then trace again: the trace path must
+            // bypass the warm entries and still land on the same form.
+            memo.normalize(&probe).unwrap();
+            let (warm, _) = memo.normalize_traced(&probe).unwrap();
+            assert_eq!(warm, base, "{name}: traced warm memo on `{shown}`");
+        }
+    }
+}
+
+#[test]
+fn assumption_contexts_agree_with_the_reference_engine() {
+    // `normalize_under` runs on the arena hot path with assumption-laden
+    // subterms excluded from the caches; the tree-walking oracle
+    // implements the same contextual semantics with no caches at all.
+    // Assumptions are harvested from the shipped specs themselves: the
+    // first `if` condition of each conditional axiom right-hand side,
+    // asserted both true and false. Symbolic normalization can diverge
+    // (arithmetic's DIVMOD unfolds forever on a free variable), so every
+    // engine runs under a small depth budget and items the plain engine
+    // cannot finish are skipped rather than compared.
+    let budget = Fuel::default().with_max_depth(64);
+    let mut contexts_checked = 0usize;
+    for (name, source) in sources::all() {
+        let spec = adt_dsl::parse(source).unwrap_or_else(|e| panic!("{name}: {}", e.render(source)));
+        let session = Session::new(spec.clone());
+        let plain = Rewriter::new(&spec).with_budget(budget);
+        let memo = Rewriter::new(&spec).memoizing().with_budget(budget);
+        let shared = Rewriter::for_session(&session).with_budget(budget);
+        for ax in spec.axioms() {
+            let Some(cond) = first_ite_cond(ax.rhs()).cloned() else {
+                continue;
+            };
+            let shown = display::term(spec.sig(), ax.rhs());
+            for value in [true, false] {
+                let asms = [(cond.clone(), value)];
+                let Ok(base) = plain.normalize_under(ax.rhs(), &asms) else {
+                    continue;
+                };
+                let oracle = plain.normalize_under_reference(ax.rhs(), &asms).unwrap();
+                assert_eq!(base, oracle, "{name}: `{shown}` under {value}, plain vs reference");
+                let memoized = memo.normalize_under(ax.rhs(), &asms).unwrap();
+                assert_eq!(base, memoized, "{name}: `{shown}` under {value}, plain vs memoizing");
+                let sessioned = shared.normalize_under(ax.rhs(), &asms).unwrap();
+                assert_eq!(base, sessioned, "{name}: `{shown}` under {value}, plain vs session");
+                contexts_checked += 1;
+            }
+        }
+    }
+    assert!(
+        contexts_checked >= 10,
+        "only {contexts_checked} assumption contexts exercised"
+    );
+}
+
+#[test]
+fn proofs_are_identical_across_engines() {
+    // `prove_equal` drives its whole case-split search through the same
+    // hot path; caches may change how much work is repeated but never
+    // which `Proof` comes back. Every shipped axiom is provable from
+    // itself, so lhs = rhs is a meaningful corpus: most close by
+    // rewriting alone, the conditional ones exercise the splitter. The
+    // depth budget keeps symbolic divergence (DIVMOD on a free variable)
+    // a clean exhaustion instead of a deep recursion.
+    let budget = Fuel::default().with_max_depth(64);
+    for (name, source) in sources::all() {
+        let spec = adt_dsl::parse(source).unwrap_or_else(|e| panic!("{name}: {}", e.render(source)));
+        let session = Session::new(spec.clone());
+        let plain = Rewriter::new(&spec).with_budget(budget);
+        let memo = Rewriter::new(&spec).memoizing().with_budget(budget);
+        let shared = Rewriter::for_session(&session).with_budget(budget);
+        for (idx, ax) in spec.axioms().iter().enumerate() {
+            let Ok(base) = plain.prove_equal(ax.lhs(), ax.rhs(), 4) else {
+                continue;
+            };
+            let memoized = memo.prove_equal(ax.lhs(), ax.rhs(), 4).unwrap();
+            assert_eq!(base, memoized, "{name} axiom {idx}: plain vs memoizing");
+            let sessioned = shared.prove_equal(ax.lhs(), ax.rhs(), 4).unwrap();
+            assert_eq!(base, sessioned, "{name} axiom {idx}: plain vs session");
+            // A second run against the now-warm memo must return the
+            // same proof object, not a cache-shaped variant of it.
+            let warm = memo.prove_equal(ax.lhs(), ax.rhs(), 4).unwrap();
+            assert_eq!(base, warm, "{name} axiom {idx}: cold vs warm memo");
+        }
+    }
 }
