@@ -150,6 +150,64 @@ pub mod harness {
             self.report(label, &mut times, iters)
         }
 
+        /// Measures two routines over the same per-iteration inputs by
+        /// strict alternation: sample *k* of `a` runs immediately before
+        /// sample *k* of `b`, so slow drift (thermal throttling, noisy
+        /// co-tenants) lands on both sides equally. Use this instead of
+        /// two [`Group::bench_batched`] calls whenever the effect being
+        /// measured is smaller than run-to-run drift — an A/B delta of a
+        /// few percent is invisible to back-to-back rows but survives
+        /// pairing.
+        pub fn bench_paired<S, R>(
+            &self,
+            label_a: &str,
+            label_b: &str,
+            mut setup: impl FnMut() -> S,
+            mut a: impl FnMut(S) -> R,
+            mut b: impl FnMut(S) -> R,
+        ) -> (Measurement, Measurement) {
+            let warm_start = Instant::now();
+            let mut warm_iters = 0u64;
+            let mut warm_spent = Duration::ZERO;
+            while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+                let t = Instant::now();
+                black_box(a(setup()));
+                black_box(b(setup()));
+                warm_spent += t.elapsed();
+                warm_iters += 1;
+            }
+            // `est` covers one a+b pair, so the shared budget splits fairly.
+            let est = warm_spent / u32::try_from(warm_iters).unwrap_or(u32::MAX);
+            let per_sample = self.budget / self.samples;
+            let iters = (per_sample.as_nanos() / est.as_nanos().max(1))
+                .clamp(1, u128::from(u32::MAX)) as u64;
+
+            let mut times_a = Vec::with_capacity(self.samples as usize);
+            let mut times_b = Vec::with_capacity(self.samples as usize);
+            for _ in 0..self.samples {
+                // Alternate at iteration granularity — a, b, a, b — so a
+                // burst of noise inside one sample still hits both sides.
+                let mut spent_a = Duration::ZERO;
+                let mut spent_b = Duration::ZERO;
+                for _ in 0..iters {
+                    let input = setup();
+                    let t = Instant::now();
+                    black_box(a(input));
+                    spent_a += t.elapsed();
+                    let input = setup();
+                    let t = Instant::now();
+                    black_box(b(input));
+                    spent_b += t.elapsed();
+                }
+                times_a.push(spent_a / u32::try_from(iters).unwrap_or(u32::MAX));
+                times_b.push(spent_b / u32::try_from(iters).unwrap_or(u32::MAX));
+            }
+            (
+                self.report(label_a, &mut times_a, iters),
+                self.report(label_b, &mut times_b, iters),
+            )
+        }
+
         fn report(&self, label: &str, times: &mut [Duration], iters: u64) -> Measurement {
             times.sort_unstable();
             let per_iter = times[times.len() / 2];
@@ -983,6 +1041,28 @@ mod tests {
                 |v| v.into_iter().sum::<u32>(),
             );
             assert!(m.per_iter > Duration::ZERO);
+        }
+
+        #[test]
+        fn bench_paired_alternates_and_shares_the_iteration_count() {
+            let g = quick_group("harness_test");
+            let (fast, slow) = g.bench_paired(
+                "paired_fast",
+                "paired_slow",
+                || 200u64,
+                |n| std::hint::black_box(n + 1),
+                |n| {
+                    let mut acc = 0u64;
+                    for i in 0..n * 100 {
+                        acc = acc.wrapping_add(std::hint::black_box(i));
+                    }
+                    acc
+                },
+            );
+            // Both sides of a pair are measured at the same iteration
+            // count — that is the point of pairing.
+            assert_eq!(fast.iters, slow.iters);
+            assert!(slow.per_iter >= fast.per_iter);
         }
 
         #[test]

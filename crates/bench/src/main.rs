@@ -20,7 +20,7 @@ use adt_bench::harness::Group;
 use adt_bench::report::{regressions, BenchRecord, BenchReport};
 use adt_bench::workloads::{queue_term, synthetic_spec};
 use adt_check::{check_completeness_jobs, check_consistency_jobs, ProbeConfig};
-use adt_core::Session;
+use adt_core::{Deadline, Session, Supervisor};
 use adt_rewrite::Rewriter;
 use adt_structures::specs::queue_spec;
 
@@ -289,11 +289,105 @@ fn run_benchmarks(quick: bool) -> Vec<BenchRecord> {
             fresh,
         );
         push("session_reuse", &format!("one_session/{checks}x16"), shared);
-        // Record fresh-per-check as the shared row's "before": the
+        // fresh-per-check becomes the shared row's "before" below: the
         // speedup field then reads as "reuse is this many times faster".
-        let fresh_ns = u64::try_from(fresh.per_iter.as_nanos()).unwrap_or(u64::MAX);
-        if let Some(row) = rows.last_mut() {
-            row.before_ns = Some(fresh_ns);
+    }
+
+    // retry_ladder: the supervision tax and the cost of a rescue. The same
+    // long normalization runs once bare and once under an armed (but
+    // never-firing) deadline supervisor — the supervised row carries the
+    // bare median as its `before_ns`, so the committed JSON records the
+    // polling overhead directly (budget: under 3%). Both pairs are
+    // measured with `bench_paired`: the effect is smaller than this
+    // machine's run-to-run drift, so back-to-back rows cannot see it.
+    // The rescue rows compare a starved-then-escalated two-pass
+    // normalization against a right-sized single pass: the price of
+    // discovering a budget was too small, which is what the adaptive
+    // retry ladder pays per rung.
+    {
+        // A wider budget than the quick default: these rows compare
+        // ~4 ms routines whose delta is the payload, so each sample
+        // needs several interleaved iterations even in the smoke
+        // profile or the 2x CI regression gate can trip on noise.
+        let g = if quick {
+            Group::new("retry_ladder")
+                .budget(Duration::from_millis(100), Duration::from_millis(450))
+        } else {
+            group("retry_ladder")
+        };
+        let state = queue_term(&spec, 96, 48, 7);
+        let front = sig
+            .apply("FRONT", vec![state.clone()])
+            .expect("well-sorted");
+        let far_deadline =
+            || Supervisor::none().with_deadline(Deadline::after(Duration::from_secs(3600)));
+        let (bare, supervised) = g.bench_paired(
+            "unsupervised/front96",
+            "supervised/front96",
+            || (),
+            |()| {
+                let rw = Rewriter::new(&spec).with_fuel(1_000_000_000);
+                rw.normalize_full(std::hint::black_box(&front))
+                    .expect("normalizes")
+                    .steps
+            },
+            |()| {
+                let rw = Rewriter::new(&spec)
+                    .with_fuel(1_000_000_000)
+                    .supervised(far_deadline());
+                rw.normalize_full(std::hint::black_box(&front))
+                    .expect("normalizes")
+                    .steps
+            },
+        );
+        push("retry_ladder", "unsupervised/front96", bare);
+        push("retry_ladder", "supervised/front96", supervised);
+        let (sized, rescued) = g.bench_paired(
+            "right_sized/front96",
+            "rescue_two_pass/front96",
+            || (),
+            |()| {
+                let rw = Rewriter::new(&spec).with_fuel(1_000_000);
+                rw.normalize_full(std::hint::black_box(&front))
+                    .expect("normalizes")
+                    .steps
+            },
+            |()| {
+                // Rung 0 starves on purpose; the ladder's next rung finishes.
+                let starved = Rewriter::new(&spec).with_fuel(16);
+                match starved.normalize_full(std::hint::black_box(&front)) {
+                    Ok(norm) => norm.steps,
+                    Err(_) => {
+                        let rung1 = Rewriter::new(&spec).with_fuel(1_000_000);
+                        rung1
+                            .normalize_full(std::hint::black_box(&front))
+                            .expect("normalizes")
+                            .steps
+                    }
+                }
+            },
+        );
+        push("retry_ladder", "right_sized/front96", sized);
+        push("retry_ladder", "rescue_two_pass/front96", rescued);
+    }
+
+    // Comparison rows carry their counterpart's median as `before_ns`, so
+    // the committed JSON reads as "reuse is this much faster" /
+    // "supervision costs this much" without consulting a second report.
+    for (group, row, baseline) in [
+        ("session_reuse", "one_session/8x16", "fresh_per_check/8x16"),
+        ("retry_ladder", "supervised/front96", "unsupervised/front96"),
+        ("retry_ladder", "rescue_two_pass/front96", "right_sized/front96"),
+    ] {
+        let before = rows
+            .iter()
+            .find(|r| r.group == group && r.name == baseline)
+            .map(|r| r.median_ns);
+        if let Some(r) = rows
+            .iter_mut()
+            .find(|r| r.group == group && r.name == row)
+        {
+            r.before_ns = before;
         }
     }
 

@@ -17,8 +17,8 @@ use std::fmt;
 use std::time::Instant;
 
 use adt_core::{
-    display, EngineError, ExhaustionCause, FuelSpent, OpId, Session, Signature, SortId, Spec, Term,
-    VarId,
+    display, EngineError, ExhaustionCause, Fuel, FuelSpent, Interrupt, OpId, Session, Signature,
+    SortId, Spec, Term, VarId,
 };
 
 use crate::config::CheckConfig;
@@ -89,6 +89,14 @@ pub enum Coverage {
         frontier: Vec<Term>,
         /// Unexplored case groups beyond the reported frontier.
         truncated: usize,
+    },
+    /// The run's supervisor (cancellation or wall-clock deadline) stopped
+    /// the analysis before it produced a verdict. Like
+    /// [`Coverage::Exhausted`], a partial result — the operation was not
+    /// proved incomplete.
+    Interrupted {
+        /// What stopped the run.
+        kind: Interrupt,
     },
     /// The analysis worker panicked (twice: original run plus one retry
     /// on a fresh stack); the rest of the report is unaffected.
@@ -188,23 +196,34 @@ impl CompletenessReport {
                 Coverage::Complete => 0,
                 Coverage::Missing(v) => v.len(),
                 Coverage::Exhausted { missing, .. } => missing.len(),
-                Coverage::Failed { .. } => 0,
+                Coverage::Interrupted { .. } | Coverage::Failed { .. } => 0,
             })
             .sum()
     }
 
     /// Operations whose analysis did not reach a verdict (budget
-    /// exhausted or worker failed). Empty on a clean run.
+    /// exhausted, supervisor interrupt, or worker failure). Empty on a
+    /// clean run.
     pub fn undetermined_ops(&self) -> Vec<&OpCoverage> {
         self.coverage
             .iter()
             .filter(|c| {
                 matches!(
                     c.coverage,
-                    Coverage::Exhausted { .. } | Coverage::Failed { .. }
+                    Coverage::Exhausted { .. }
+                        | Coverage::Interrupted { .. }
+                        | Coverage::Failed { .. }
                 )
             })
             .collect()
+    }
+
+    /// How many operations the supervisor stopped before a verdict.
+    pub fn interrupted_ops(&self) -> usize {
+        self.coverage
+            .iter()
+            .filter(|c| matches!(c.coverage, Coverage::Interrupted { .. }))
+            .count()
     }
 
     /// Whether some operation has a definitely-missing case (as opposed
@@ -254,6 +273,12 @@ impl CompletenessReport {
                             "  … and {truncated} more unexplored case group(s)\n"
                         ));
                     }
+                }
+                Coverage::Interrupted { kind } => {
+                    out.push_str(&format!(
+                        "operation {}: analysis interrupted ({kind}) — no verdict\n",
+                        cov.op_name
+                    ));
                 }
                 Coverage::Failed { error } => {
                     out.push_str(&format!(
@@ -305,6 +330,41 @@ struct OpAnalysis {
     partitions: usize,
     axiom_count: usize,
     time: std::time::Duration,
+}
+
+/// An [`OpAnalysis`] plus the supervision context it ran under: the
+/// partition budget of its final attempt, the retry rung that produced
+/// it (0 = first attempt), and whether the supervisor stopped it.
+struct Analyzed {
+    analysis: OpAnalysis,
+    budget: usize,
+    rung: u32,
+    interrupted: Option<Interrupt>,
+}
+
+/// Whether the analysis consumed its whole partition budget *and* left
+/// cases unexplored — the only exhaustion a bigger budget can rescue (a
+/// frontier behind the witness cap is not retried: more fuel cannot
+/// raise the cap).
+fn budget_exhausted(analysis: &OpAnalysis, budget: usize) -> bool {
+    analysis.partitions >= budget
+        && (!analysis.frontier_cases.is_empty() || analysis.frontier_truncated > 0)
+}
+
+/// An empty analysis for an operation the supervisor stopped before any
+/// work ran.
+fn skipped_op(spec: &Spec, op: OpId) -> OpAnalysis {
+    OpAnalysis {
+        op,
+        op_name: spec.sig().op(op).name().to_owned(),
+        notes: Vec::new(),
+        missing_cases: Vec::new(),
+        frontier_cases: Vec::new(),
+        frontier_truncated: 0,
+        partitions: 0,
+        axiom_count: spec.axioms_for(op).count(),
+        time: std::time::Duration::ZERO,
+    }
 }
 
 /// Builds the pattern matrix for `op` and enumerates its missing cases,
@@ -426,17 +486,73 @@ fn completeness_impl(
         Some(faults) => faults.arm("completeness", derived.len()),
         None => ArmedFaults::none(),
     };
+    let supervisor = config.supervisor.clone();
     // The fuel's step budget caps case partitions, never above the
     // built-in safety valve. An exhaust-fault sabotages the item with a
     // budget too small for any real analysis.
     let case_budget = usize::try_from(config.fuel.steps.min(CASE_BUDGET as u64)).unwrap_or(usize::MAX);
+    // Escalated partition budgets for exhausted analyses, never above the
+    // safety valve (only budgets that actually grow make a rung).
+    let budget_ladder: Vec<(u32, usize)> = config
+        .retry
+        .map(|retry| {
+            let mut out = Vec::new();
+            let mut prev = case_budget;
+            for rung in 1..=retry.rungs {
+                let next =
+                    usize::try_from(retry.fuel_at(Fuel::steps(case_budget as u64), rung).steps)
+                        .unwrap_or(usize::MAX)
+                        .min(CASE_BUDGET);
+                if next <= prev {
+                    break;
+                }
+                prev = next;
+                out.push((rung, next));
+            }
+            out
+        })
+        .unwrap_or_default();
     let run = run_isolated(
         config.jobs,
         &derived,
         |idx, &op| {
             armed.on_item(idx);
-            let budget = if armed.exhausts(idx) { 1 } else { case_budget };
-            analyze_op(spec, op, budget)
+            if armed.exhausts(idx) {
+                // Exhaust faults pin the ladder at rung 0: the sabotaged
+                // budget must stand, or the fault-isolation harness would
+                // be testing the ladder instead of the fault.
+                return Analyzed {
+                    analysis: analyze_op(spec, op, 1),
+                    budget: 1,
+                    rung: 0,
+                    interrupted: None,
+                };
+            }
+            if let Some(kind) = supervisor.interrupted() {
+                return Analyzed {
+                    analysis: skipped_op(spec, op),
+                    budget: case_budget,
+                    rung: 0,
+                    interrupted: Some(kind),
+                };
+            }
+            let mut budget = case_budget;
+            let mut analysis = analyze_op(spec, op, budget);
+            let mut rung = 0;
+            for &(r, next) in &budget_ladder {
+                if !budget_exhausted(&analysis, budget) {
+                    break;
+                }
+                rung = r;
+                budget = next;
+                analysis = analyze_op(spec, op, budget);
+            }
+            Analyzed {
+                analysis,
+                budget,
+                rung,
+                interrupted: None,
+            }
         },
         |_, &op| format!("operation `{}`", spec.sig().op(op).name()),
     );
@@ -448,7 +564,12 @@ fn completeness_impl(
     let mut witness_vars: Vec<(SortId, Vec<VarId>)> = Vec::new();
     let mut coverage = Vec::new();
     for (idx, outcome) in run.results.into_iter().enumerate() {
-        let analysis = match outcome {
+        let Analyzed {
+            analysis,
+            budget,
+            rung,
+            interrupted,
+        } = match outcome {
             ItemOutcome::Done(a) => a,
             ItemOutcome::Failed(failure) => {
                 let op = derived[idx];
@@ -464,6 +585,27 @@ fn completeness_impl(
                 continue;
             }
         };
+        if let Some(kind) = interrupted {
+            coverage.push(OpCoverage {
+                op: analysis.op,
+                op_name: analysis.op_name,
+                coverage: Coverage::Interrupted { kind },
+                notes: Vec::new(),
+                axiom_count: analysis.axiom_count,
+            });
+            continue;
+        }
+        if rung > 0 {
+            let end = if budget_exhausted(&analysis, budget) {
+                "still exhausted"
+            } else {
+                "rescued"
+            };
+            stats.retries.push(format!(
+                "operation `{}`: {end} at rung {rung} (budget {budget})",
+                analysis.op_name
+            ));
+        }
         stats
             .op_times
             .push((analysis.op_name.clone(), analysis.time));

@@ -1,14 +1,129 @@
 //! Shared configuration for the checking entry points.
 
-use adt_core::Fuel;
+use adt_core::{Fuel, Supervisor};
 
 use crate::fault::FaultSpec;
 
-/// Configuration shared by both checks: worker count, resource budget,
-/// and (for testing the engine itself) a fault-injection plan.
+/// The adaptive retry ladder: items whose first pass ends in *step*
+/// exhaustion are re-run with geometrically escalating fuel.
 ///
-/// The default — one job, default fuel, no faults — reproduces the
-/// historical sequential behaviour byte for byte.
+/// Rung `r` (1-based) gets `base.steps * factor^r`, capped at
+/// `cap_steps`; escalation stops as soon as a rung no longer raises the
+/// budget. Retry decisions are made *per item inside its worker*, so
+/// the final verdict of every item depends only on the item and the
+/// configuration — reports stay byte-identical at any `--jobs`.
+///
+/// Only [`adt_core::ExhaustionCause::Steps`] is retried: a depth bound
+/// is not raised by the ladder, a wall-clock deadline will not be less
+/// expired on a second attempt, and a supervisor interrupt means the
+/// run itself is over. Exhaust-faulted items (see
+/// [`FaultSpec`]) are pinned at rung 0 — injected sabotage must not be
+/// rescued by escalation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryFuel {
+    /// Geometric escalation factor per rung.
+    pub factor: u64,
+    /// Maximum number of retry rungs after the first attempt.
+    pub rungs: u32,
+    /// Absolute step-budget ceiling the ladder never exceeds.
+    pub cap_steps: u64,
+}
+
+impl Default for RetryFuel {
+    fn default() -> Self {
+        RetryFuel {
+            factor: 4,
+            rungs: 3,
+            cap_steps: 64_000_000,
+        }
+    }
+}
+
+impl RetryFuel {
+    /// The escalated budget for 1-based rung `rung` over `base`
+    /// (rung 0 is the first attempt: `base` itself). Depth and deadline
+    /// bounds are kept; only steps escalate.
+    #[must_use]
+    pub fn fuel_at(&self, base: Fuel, rung: u32) -> Fuel {
+        let mut fuel = base;
+        fuel.steps = base
+            .steps
+            .saturating_mul(self.factor.saturating_pow(rung))
+            .min(self.cap_steps.max(base.steps));
+        fuel
+    }
+
+    /// The ladder of (rung, budget) pairs that actually raise the step
+    /// budget over the previous attempt — empty when `base` already
+    /// sits at the cap.
+    #[must_use]
+    pub fn ladder(&self, base: Fuel) -> Vec<(u32, Fuel)> {
+        let mut out = Vec::new();
+        let mut prev = base.steps;
+        for rung in 1..=self.rungs {
+            let fuel = self.fuel_at(base, rung);
+            if fuel.steps <= prev {
+                break;
+            }
+            prev = fuel.steps;
+            out.push((rung, fuel));
+        }
+        out
+    }
+
+    /// Parses a `key=value` plan like `"factor=4,rungs=3,cap=1000000"`.
+    /// Every key is optional; omitted keys keep their defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message on unknown keys, duplicate
+    /// keys, or unparsable numbers.
+    pub fn parse(text: &str) -> Result<RetryFuel, String> {
+        let mut retry = RetryFuel::default();
+        let mut seen: Vec<&str> = Vec::new();
+        for part in text.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(format!("expected key=value, got `{part}`"));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if seen.contains(&key) {
+                return Err(format!("duplicate retry key `{key}`"));
+            }
+            seen.push(key);
+            let number: u64 = value
+                .parse()
+                .map_err(|_| format!("`{value}` is not a number (for `{key}`)"))?;
+            match key {
+                "factor" => {
+                    if number < 2 {
+                        return Err("factor must be at least 2".to_owned());
+                    }
+                    retry.factor = number;
+                }
+                "rungs" => {
+                    retry.rungs =
+                        u32::try_from(number).map_err(|_| "rungs is out of range".to_owned())?;
+                }
+                "cap" => {
+                    if number == 0 {
+                        return Err("cap must be at least 1".to_owned());
+                    }
+                    retry.cap_steps = number;
+                }
+                other => return Err(format!("unknown retry key `{other}`")),
+            }
+        }
+        Ok(retry)
+    }
+}
+
+/// Configuration shared by both checks: worker count, resource budget,
+/// retry ladder, supervision, and (for testing the engine itself) a
+/// fault-injection plan.
+///
+/// The default — one job, default fuel, no retry, no supervision, no
+/// faults — reproduces the historical sequential behaviour byte for
+/// byte.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckConfig {
     /// Worker threads (`0` = every available core).
@@ -17,6 +132,11 @@ pub struct CheckConfig {
     /// consistency probes; as a case-partition budget for completeness
     /// analysis).
     pub fuel: Fuel,
+    /// Adaptive fuel escalation for step-exhausted items, if enabled.
+    pub retry: Option<RetryFuel>,
+    /// Cooperative supervision (deadline / cancellation) polled by
+    /// every work item and every normalization. Inert by default.
+    pub supervisor: Supervisor,
     /// Faults to inject, if any. Only test harnesses set this.
     pub faults: Option<FaultSpec>,
 }
@@ -26,6 +146,8 @@ impl Default for CheckConfig {
         CheckConfig {
             jobs: 1,
             fuel: Fuel::default(),
+            retry: None,
+            supervisor: Supervisor::none(),
             faults: None,
         }
     }
@@ -47,10 +169,79 @@ impl CheckConfig {
         self
     }
 
+    /// Enables the adaptive retry ladder.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryFuel) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Installs a supervisor (deadline / cancellation).
+    #[must_use]
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
     /// Installs a fault-injection plan.
     #[must_use]
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = Some(faults);
         self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_escalates_geometrically_to_the_cap() {
+        let retry = RetryFuel {
+            factor: 4,
+            rungs: 3,
+            cap_steps: 1_000,
+        };
+        let ladder = retry.ladder(Fuel::steps(100));
+        let steps: Vec<u64> = ladder.iter().map(|(_, f)| f.steps).collect();
+        assert_eq!(steps, vec![400, 1_000]);
+        assert_eq!(ladder[0].0, 1);
+        assert_eq!(ladder[1].0, 2);
+    }
+
+    #[test]
+    fn ladder_is_empty_when_base_is_at_the_cap() {
+        let retry = RetryFuel {
+            factor: 4,
+            rungs: 3,
+            cap_steps: 100,
+        };
+        assert!(retry.ladder(Fuel::steps(100)).is_empty());
+        // A base above the cap is left alone, never *reduced*.
+        assert!(retry.ladder(Fuel::steps(500)).is_empty());
+        assert_eq!(retry.fuel_at(Fuel::steps(500), 1).steps, 500);
+    }
+
+    #[test]
+    fn ladder_keeps_depth_and_deadline_bounds() {
+        let base = Fuel::steps(10).with_max_depth(7);
+        let escalated = RetryFuel::default().fuel_at(base, 2);
+        assert_eq!(escalated.steps, 160);
+        assert_eq!(escalated.max_depth, Some(7));
+    }
+
+    #[test]
+    fn parse_accepts_partial_plans_and_rejects_junk() {
+        let retry = RetryFuel::parse("factor=8,rungs=2").unwrap();
+        assert_eq!(retry.factor, 8);
+        assert_eq!(retry.rungs, 2);
+        assert_eq!(retry.cap_steps, RetryFuel::default().cap_steps);
+        assert_eq!(RetryFuel::parse("").unwrap(), RetryFuel::default());
+        assert!(RetryFuel::parse("factor=1").is_err());
+        assert!(RetryFuel::parse("cap=0").is_err());
+        assert!(RetryFuel::parse("zorp=3").is_err());
+        assert!(RetryFuel::parse("rungs=1,rungs=2").is_err());
+        assert!(RetryFuel::parse("rungs").is_err());
+        assert!(RetryFuel::parse("rungs=many").is_err());
     }
 }

@@ -19,10 +19,13 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use adt_core::{
-    display, match_pattern, DetRng, EngineError, Fuel, FuelSpent, OpId, Session, Signature, SortId,
-    Spec, Term, TermId,
+    display, match_pattern, DetRng, EngineError, ExhaustionCause, Fuel, FuelSpent, Interrupt, OpId,
+    Session, Signature, SortId, Spec, Term, TermId,
 };
-use adt_rewrite::{classify_superposition, superpositions, PairStatus, RewriteError, Rewriter};
+use adt_rewrite::{
+    classify_superposition, superpositions, CriticalPair, PairStatus, RewriteError, Rewriter,
+    Superposition,
+};
 
 use crate::config::CheckConfig;
 use crate::fault::ArmedFaults;
@@ -49,10 +52,16 @@ pub enum ConsistencyVerdict {
     Consistent,
     /// A contradiction was exhibited.
     Inconsistent,
-    /// No contradiction was found, but some probes ran out of fuel before
-    /// reaching a normal form: the analyses terminated with a *partial*
-    /// verdict instead of hanging on a (possibly divergent) axiom set.
+    /// No contradiction was found, but some critical pairs or probes ran
+    /// out of fuel before reaching a normal form: the analyses terminated
+    /// with a *partial* verdict instead of hanging on a (possibly
+    /// divergent) axiom set.
     Exhausted,
+    /// No contradiction was found, but the run's supervisor (cancellation
+    /// or wall-clock deadline) stopped some items before they produced a
+    /// verdict. Like [`ConsistencyVerdict::Exhausted`], a partial result —
+    /// the specification was not proved wrong.
+    Interrupted,
     /// No contradiction was found, but some critical pairs neither joined
     /// nor produced distinguishable values (e.g. symbolic divergence), so
     /// consistency could not be confirmed.
@@ -98,6 +107,8 @@ pub struct ConsistencyReport {
     pairs_checked: usize,
     probes_run: usize,
     exhausted_probes: Vec<ExhaustedProbe>,
+    exhausted_pairs: usize,
+    interrupted_items: usize,
     failures: Vec<CheckFailure>,
     /// Deterministic per-pair verdict strings, in superposition order
     /// (fault-isolation harnesses compare these index-wise).
@@ -146,6 +157,18 @@ impl ConsistencyReport {
         &self.exhausted_probes
     }
 
+    /// Number of critical pairs whose classification ran out of fuel
+    /// (after any configured retry ladder).
+    pub fn exhausted_pairs(&self) -> usize {
+        self.exhausted_pairs
+    }
+
+    /// Number of items (pairs and probes) the supervisor stopped before
+    /// they produced a verdict.
+    pub fn interrupted_items(&self) -> usize {
+        self.interrupted_items
+    }
+
     /// Work items that failed outright (worker panicked twice). The rest
     /// of the report is unaffected by these items.
     pub fn failures(&self) -> &[CheckFailure] {
@@ -191,6 +214,18 @@ impl ConsistencyReport {
                 display::term(self.spec.sig(), &c.peak),
                 display::term(self.spec.sig(), &c.left_nf),
                 display::term(self.spec.sig(), &c.right_nf),
+            ));
+        }
+        if self.interrupted_items > 0 {
+            out.push_str(&format!(
+                "  interrupted: {} item(s) stopped before a verdict\n",
+                self.interrupted_items
+            ));
+        }
+        if self.exhausted_pairs > 0 {
+            out.push_str(&format!(
+                "  exhausted pairs: {} (step budget ran out)\n",
+                self.exhausted_pairs
             ));
         }
         const SHOWN: usize = 5;
@@ -302,11 +337,14 @@ fn consistency_impl(
 ) -> ConsistencyReport {
     let jobs = config.jobs;
     let faults = config.faults.clone().unwrap_or_default();
+    let supervisor = config.supervisor.clone();
     let mut contradictions = Vec::new();
     let mut unresolved = 0;
     let mut stats = CheckStats::default();
     let mut failures: Vec<CheckFailure> = Vec::new();
     let mut exhausted_probes: Vec<ExhaustedProbe> = Vec::new();
+    let mut exhausted_pairs = 0;
+    let mut interrupted_items = 0;
     let mut pair_verdicts: Vec<String> = Vec::new();
     let mut probe_verdicts: Vec<String> = Vec::new();
 
@@ -335,6 +373,8 @@ fn consistency_impl(
                 pairs_checked: 0,
                 probes_run: 0,
                 exhausted_probes,
+                exhausted_pairs: 0,
+                interrupted_items: 0,
                 failures,
                 pair_verdicts,
                 probe_verdicts,
@@ -349,7 +389,9 @@ fn consistency_impl(
     } else {
         ArmedFaults::none()
     };
-    let mut ext_rw = Rewriter::new(&set.spec).with_budget(config.fuel);
+    let mut ext_rw = Rewriter::new(&set.spec)
+        .with_budget(config.fuel)
+        .supervised(supervisor.clone());
     if let Some(session) = session {
         // Vars-only signature extension: op indices (and so structural
         // hashes) agree with the session's, so sharing its memo is sound.
@@ -359,25 +401,73 @@ fn consistency_impl(
     // exists to *exhaust* sabotaged items, and a warm memo hit would hand
     // back the normal form without spending a single step.
     let tiny_pair_rw = Rewriter::new(&set.spec).with_budget(Fuel::steps(1));
+    // One rewriter per retry rung, budgets escalating geometrically.
+    // Retrying *inside* the worker keeps every item's final verdict a
+    // function of (item, config) alone — byte-identical at any `--jobs`.
+    let pair_ladder: Vec<(u32, Rewriter<'_>)> = config
+        .retry
+        .map(|retry| {
+            retry
+                .ladder(config.fuel)
+                .into_iter()
+                .map(|(rung, fuel)| {
+                    let mut rw = Rewriter::new(&set.spec)
+                        .with_budget(fuel)
+                        .supervised(supervisor.clone());
+                    if let Some(session) = session {
+                        rw = rw.with_memo(Arc::clone(session.memo()));
+                    }
+                    (rung, rw)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     let pair_run = run_isolated(
         jobs,
         &set.superpositions,
         |idx, sp| {
             pair_faults.on_item(idx);
-            let rw = if pair_faults.exhausts(idx) {
-                &tiny_pair_rw
-            } else {
-                &ext_rw
-            };
-            classify_superposition(rw, sp)
+            if pair_faults.exhausts(idx) {
+                // Exhaust faults pin the ladder at rung 0: the sabotaged
+                // budget must stand, or the fault-isolation harness would
+                // be testing the ladder instead of the fault.
+                return Classified {
+                    pair: classify_superposition(&tiny_pair_rw, sp),
+                    rung: 0,
+                };
+            }
+            if let Some(kind) = supervisor.interrupted() {
+                return Classified {
+                    pair: interrupted_pair(sp, kind),
+                    rung: 0,
+                };
+            }
+            let mut pair = classify_superposition(&ext_rw, sp);
+            let mut rung = 0;
+            for (r, rw) in &pair_ladder {
+                if !retryable_pair(&pair.status) {
+                    break;
+                }
+                rung = *r;
+                pair = classify_superposition(rw, sp);
+            }
+            Classified { pair, rung }
         },
         |idx, sp| format!("critical pair #{idx} ({} / {})", sp.outer_rule, sp.inner_rule),
     );
     stats.absorb(&pair_run.busy, pair_run.elapsed, pairs_checked);
     stats.pairs_checked = pairs_checked;
-    for outcome in pair_run.results {
+    for (idx, outcome) in pair_run.results.into_iter().enumerate() {
         match outcome {
-            ItemOutcome::Done(pair) => {
+            ItemOutcome::Done(Classified { pair, rung }) => {
+                if rung > 0 {
+                    stats.retries.push(retry_note(
+                        &format!("critical pair #{idx} ({} / {})", pair.outer_rule, pair.inner_rule),
+                        rung,
+                        config,
+                        !retryable_pair(&pair.status),
+                    ));
+                }
                 pair_verdicts.push(match &pair.status {
                     PairStatus::Joinable(nf) => {
                         format!("joins at {}", display::term(set.spec.sig(), nf))
@@ -387,6 +477,8 @@ fn consistency_impl(
                         display::term(set.spec.sig(), left_nf),
                         display::term(set.spec.sig(), right_nf)
                     ),
+                    PairStatus::Exhausted { spent, .. } => format!("exhausted: {spent}"),
+                    PairStatus::Interrupted { kind } => format!("interrupted: {kind}"),
                     PairStatus::Unknown { reason } => format!("unknown: {reason}"),
                 });
                 match pair.status {
@@ -403,6 +495,14 @@ fn consistency_impl(
                             unresolved += 1;
                         }
                     }
+                    PairStatus::Exhausted { .. } => {
+                        exhausted_pairs += 1;
+                        unresolved += 1;
+                    }
+                    PairStatus::Interrupted { .. } => {
+                        interrupted_items += 1;
+                        unresolved += 1;
+                    }
                     PairStatus::Unknown { .. } => unresolved += 1,
                 }
             }
@@ -415,12 +515,32 @@ fn consistency_impl(
 
     // Phase 2: randomized ground probing — sequential sampling (the RNG
     // stream is one deterministic sequence), parallel normalization.
-    let mut rw = Rewriter::new(spec).with_budget(config.fuel);
+    let mut rw = Rewriter::new(spec)
+        .with_budget(config.fuel)
+        .supervised(supervisor.clone());
     if let Some(session) = session {
         rw = rw.with_memo(Arc::clone(session.memo()));
     }
     // Memo-less for the same reason as `tiny_pair_rw` above.
     let tiny_rw = Rewriter::new(spec).with_budget(Fuel::steps(1));
+    let probe_ladder: Vec<(u32, Rewriter<'_>)> = config
+        .retry
+        .map(|retry| {
+            retry
+                .ladder(config.fuel)
+                .into_iter()
+                .map(|(rung, fuel)| {
+                    let mut ladder_rw = Rewriter::new(spec)
+                        .with_budget(fuel)
+                        .supervised(supervisor.clone());
+                    if let Some(session) = session {
+                        ladder_rw = ladder_rw.with_memo(Arc::clone(session.memo()));
+                    }
+                    (rung, ladder_rw)
+                })
+                .collect()
+        })
+        .unwrap_or_default();
     let mut rng = DetRng::new(probe.seed);
     let observers: Vec<OpId> = spec.derived_ops().collect();
     let mut probe_terms = Vec::new();
@@ -438,6 +558,38 @@ fn consistency_impl(
     } else {
         ArmedFaults::none()
     };
+    // The whole per-item policy (fault pinning, supervisor poll, retry
+    // ladder) in one closure shared by both pool modes below.
+    let probe_one = |idx: usize, term: &Term| -> Probed {
+        probe_faults.on_item(idx);
+        if probe_faults.exhausts(idx) {
+            // Rung 0, always: see the pair phase.
+            return Probed {
+                out: probe_divergence(&tiny_rw, spec.sig(), term),
+                rung: 0,
+            };
+        }
+        if let Some(kind) = supervisor.interrupted() {
+            return Probed {
+                out: ProbeOutcome::stopped(kind),
+                rung: 0,
+            };
+        }
+        let mut out = probe_divergence(&rw, spec.sig(), term);
+        let mut rung = 0;
+        for (r, ladder_rw) in &probe_ladder {
+            if !retryable_probe(&out) {
+                break;
+            }
+            rung = *r;
+            let next = probe_divergence(ladder_rw, spec.sig(), term);
+            out = ProbeOutcome {
+                steps: out.steps + next.steps,
+                ..next
+            };
+        }
+        Probed { out, rung }
+    };
     let probe_run = match session {
         // Session mode: the pool ships interned ids — workers materialize
         // their own term from the shared arena (an exact round-trip, so
@@ -447,15 +599,7 @@ fn consistency_impl(
             run_isolated(
                 jobs,
                 &probe_ids,
-                |idx, &id| {
-                    probe_faults.on_item(idx);
-                    let rw = if probe_faults.exhausts(idx) {
-                        &tiny_rw
-                    } else {
-                        &rw
-                    };
-                    probe_divergence(rw, spec.sig(), &session.term(id))
-                },
+                |idx, &id| probe_one(idx, &session.term(id)),
                 |idx, &id| {
                     format!(
                         "probe #{idx} ({})",
@@ -467,15 +611,7 @@ fn consistency_impl(
         None => run_isolated(
             jobs,
             &probe_terms,
-            |idx, term| {
-                probe_faults.on_item(idx);
-                let rw = if probe_faults.exhausts(idx) {
-                    &tiny_rw
-                } else {
-                    &rw
-                };
-                probe_divergence(rw, spec.sig(), term)
-            },
+            |idx, term| probe_one(idx, term),
             |idx, term| format!("probe #{idx} ({})", display::term(spec.sig(), term)),
         ),
     };
@@ -483,22 +619,36 @@ fn consistency_impl(
     stats.probes_run = probes_run;
     for (idx, outcome) in probe_run.results.into_iter().enumerate() {
         match outcome {
-            ItemOutcome::Done(out) => {
+            ItemOutcome::Done(Probed { out, rung }) => {
                 stats.rewrite_steps += out.steps;
                 if let Some(session) = session {
                     session.note_normalization(out.steps);
                 }
-                probe_verdicts.push(match (&out.found, &out.exhausted) {
-                    (Some(c), _) => format!(
+                if rung > 0 {
+                    stats.retries.push(retry_note(
+                        &format!(
+                            "probe #{idx} ({})",
+                            display::term(spec.sig(), &probe_terms[idx])
+                        ),
+                        rung,
+                        config,
+                        !retryable_probe(&out),
+                    ));
+                }
+                probe_verdicts.push(match (&out.found, &out.interrupted, &out.exhausted) {
+                    (Some(c), _, _) => format!(
                         "diverged: {} vs {}",
                         display::term(spec.sig(), &c.left_nf),
                         display::term(spec.sig(), &c.right_nf)
                     ),
-                    (None, Some(spent)) => format!("exhausted: {spent}"),
-                    (None, None) => "agreed".to_owned(),
+                    (None, Some(kind), _) => format!("interrupted: {kind}"),
+                    (None, None, Some(spent)) => format!("exhausted: {spent}"),
+                    (None, None, None) => "agreed".to_owned(),
                 });
                 if let Some(c) = out.found {
                     contradictions.push(c);
+                } else if out.interrupted.is_some() {
+                    interrupted_items += 1;
                 } else if let Some(spent) = out.exhausted {
                     exhausted_probes.push(ExhaustedProbe {
                         term: probe_terms[idx].clone(),
@@ -517,12 +667,15 @@ fn consistency_impl(
     let mut seen = HashSet::new();
     contradictions.retain(|c| seen.insert(c.peak.clone()));
 
-    // Precedence: a contradiction beats everything; exhaustion (a partial
-    // analysis) beats symbolic unknowns; engine failures never affect the
-    // verdict — they concern sabotaged items only.
+    // Precedence: a contradiction beats everything; a supervisor interrupt
+    // (the run was cut short from outside) beats exhaustion; exhaustion (a
+    // partial analysis) beats symbolic unknowns; engine failures never
+    // affect the verdict — they concern sabotaged items only.
     let verdict = if !contradictions.is_empty() {
         ConsistencyVerdict::Inconsistent
-    } else if !exhausted_probes.is_empty() {
+    } else if interrupted_items > 0 {
+        ConsistencyVerdict::Interrupted
+    } else if !exhausted_probes.is_empty() || exhausted_pairs > 0 {
         ConsistencyVerdict::Exhausted
     } else if unresolved > 0 {
         ConsistencyVerdict::Unknown
@@ -537,12 +690,62 @@ fn consistency_impl(
         pairs_checked,
         probes_run,
         exhausted_probes,
+        exhausted_pairs,
+        interrupted_items,
         failures,
         pair_verdicts,
         probe_verdicts,
         stats,
         spec: set.spec,
     }
+}
+
+/// A classified critical pair plus the retry rung that produced its final
+/// status (0 = first attempt).
+struct Classified {
+    pair: CriticalPair,
+    rung: u32,
+}
+
+/// A probe outcome plus the retry rung that produced it.
+struct Probed {
+    out: ProbeOutcome,
+    rung: u32,
+}
+
+/// A critical pair the supervisor stopped before classification.
+fn interrupted_pair(sp: &Superposition, kind: Interrupt) -> CriticalPair {
+    CriticalPair {
+        outer_rule: sp.outer_rule.clone(),
+        inner_rule: sp.inner_rule.clone(),
+        position: sp.position.clone(),
+        peak: sp.peak.clone(),
+        left: sp.left.clone(),
+        right: sp.right.clone(),
+        status: PairStatus::Interrupted { kind },
+    }
+}
+
+/// Whether the retry ladder applies: only plain *step* exhaustion is
+/// rescued by more fuel. Depth bounds, deadlines, and interrupts are not.
+fn retryable_pair(status: &PairStatus) -> bool {
+    matches!(status, PairStatus::Exhausted { spent, .. } if spent.cause == ExhaustionCause::Steps)
+}
+
+/// [`retryable_pair`] for probe outcomes.
+fn retryable_probe(out: &ProbeOutcome) -> bool {
+    out.found.is_none()
+        && out.interrupted.is_none()
+        && matches!(&out.exhausted, Some(spent) if spent.cause == ExhaustionCause::Steps)
+}
+
+/// Telemetry line for an item the ladder escalated.
+fn retry_note(label: &str, rung: u32, config: &CheckConfig, rescued: bool) -> String {
+    let fuel = config
+        .retry
+        .map_or(config.fuel, |retry| retry.fuel_at(config.fuel, rung));
+    let end = if rescued { "rescued" } else { "still exhausted" };
+    format!("{label}: {end} at rung {rung} (fuel {})", fuel.steps)
 }
 
 /// Builds a random ground application of `op` to constructor terms.
@@ -604,8 +807,22 @@ struct ProbeOutcome {
     found: Option<Contradiction>,
     /// Fuel receipt from the first normalization that ran out, if any.
     exhausted: Option<FuelSpent>,
+    /// Supervisor interrupt that stopped the probe, if any.
+    interrupted: Option<Interrupt>,
     /// Total rewrite steps spent.
     steps: u64,
+}
+
+impl ProbeOutcome {
+    /// A probe the supervisor stopped before it did any work.
+    fn stopped(kind: Interrupt) -> ProbeOutcome {
+        ProbeOutcome {
+            found: None,
+            exhausted: None,
+            interrupted: Some(kind),
+            steps: 0,
+        }
+    }
 }
 
 /// Enumerates every one-step reduct of `term` (any rule, any position),
@@ -616,8 +833,9 @@ struct ProbeOutcome {
 fn probe_divergence(rw: &Rewriter<'_>, sig: &Signature, term: &Term) -> ProbeOutcome {
     let mut steps = 0;
     let mut exhausted: Option<FuelSpent> = None;
+    let mut interrupted: Option<Interrupt> = None;
     let mut normal_forms: Vec<Term> = Vec::new();
-    for (pos, sub) in term.subterms() {
+    'scan: for (pos, sub) in term.subterms() {
         if let Term::App(op, _) = sub {
             for rule in rw.rules().for_head(*op) {
                 if let Some(subst) = match_pattern(rule.lhs(), sub) {
@@ -637,6 +855,14 @@ fn probe_divergence(rw: &Rewriter<'_>, sig: &Signature, term: &Term) -> ProbeOut
                             if exhausted.is_none() {
                                 exhausted = Some(spent);
                             }
+                        }
+                        Err(RewriteError::Interrupted { kind, steps: s }) => {
+                            // The supervisor pulled the plug: stop the
+                            // whole scan — further reducts would only be
+                            // interrupted again.
+                            steps += s;
+                            interrupted = Some(kind);
+                            break 'scan;
                         }
                         Err(_) => {}
                     }
@@ -661,6 +887,7 @@ fn probe_divergence(rw: &Rewriter<'_>, sig: &Signature, term: &Term) -> ProbeOut
     ProbeOutcome {
         found,
         exhausted,
+        interrupted,
         steps,
     }
 }

@@ -58,7 +58,7 @@ mod lint;
 pub mod parallel;
 
 pub use classify::{classification_warnings, infer_constructors};
-pub use config::CheckConfig;
+pub use config::{CheckConfig, RetryFuel};
 pub use fault::{ArmedFaults, FaultSpec};
 pub use completeness::{
     check_completeness, check_completeness_jobs, check_completeness_session,

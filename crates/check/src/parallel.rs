@@ -292,6 +292,10 @@ pub struct CheckStats {
     /// Per-operation analysis wall time (completeness checks only), in
     /// operation-declaration order.
     pub op_times: Vec<(String, Duration)>,
+    /// One line per item the retry ladder re-ran ("… rescued at rung 2
+    /// (fuel 16000)"), in item order. Deterministic for a given
+    /// configuration, unlike the timing fields.
+    pub retries: Vec<String>,
 }
 
 impl CheckStats {
@@ -332,6 +336,9 @@ impl CheckStats {
         ));
         for (op, t) in &self.op_times {
             out.push_str(&format!("stats:   {op}: {t:?}\n"));
+        }
+        for line in &self.retries {
+            out.push_str(&format!("stats: retry {line}\n"));
         }
         out
     }

@@ -16,21 +16,28 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
+pub mod checkpoint;
 pub mod repl;
 
 use std::fmt::Write as _;
 use std::fs;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use adt_check::{
     check_completeness_session, check_consistency_session, classification_warnings,
     overlap_warnings, recursion_warnings, CheckConfig, CheckStats, ConsistencyVerdict, FaultSpec,
-    ProbeConfig,
+    ProbeConfig, RetryFuel,
 };
-use adt_core::{display, Fuel, Session, Spec};
+use adt_core::{display, Deadline, Fuel, Session, Spec, Supervisor};
 use adt_dsl::{parse_session, parse_term_id, print_spec};
 use adt_rewrite::{Proof, Rewriter};
 use adt_verify::{fault_isolation_check, parse_fault_plan};
+
+use checkpoint::{fnv1a_hex, Checkpoint, Phase, VerdictGroup};
 
 /// The outcome of running a command: what to print, and the exit code.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,15 +65,31 @@ impl Outcome {
 
 /// The usage banner.
 pub const USAGE: &str = "usage:
-  adt check [--jobs N] [--stats] [--fuel N] [--faults PLAN] <file.adt>
+  adt check [--jobs N] [--stats] [--fuel N] [--deadline DUR] [--retry-fuel PLAN]
+            [--checkpoint FILE] [--faults PLAN] <file.adt>
                                        parse and run the mechanical checks
                                        (--jobs 0 = all cores; --stats prints
                                        worker/probe and session arena/memo
                                        telemetry; --fuel caps
-                                       rewrite steps per work item; --faults
+                                       rewrite steps per work item; --deadline
+                                       bounds the whole run by wall clock,
+                                       e.g. 500ms, 2s, 1m — work stopped at
+                                       the deadline reports UNDETERMINED;
+                                       --retry-fuel re-runs items that ran out
+                                       of steps with escalating budgets, e.g.
+                                       \"factor=4,rungs=3,cap=64000000\";
+                                       --checkpoint records each finished
+                                       phase in FILE so an interrupted run
+                                       resumes instead of restarting; --faults
                                        injects engine faults, e.g.
                                        \"seed=7,panic=1\", and verifies the
                                        non-faulted verdicts are untouched)
+  adt batch [--jobs N] [--fuel N] [--deadline DUR] [--retry-fuel PLAN] <dir>
+                                       check every .adt spec in a directory;
+                                       each spec gets its own deadline and
+                                       panic isolation, and a spec that
+                                       panics twice is QUARANTINED (the only
+                                       batch outcome with a nonzero exit)
   adt fmt <file.adt>                   print the canonical form
   adt eval <file.adt> <term>           normalize a term
   adt trace <file.adt> <term>          normalize, printing the derivation
@@ -84,17 +107,26 @@ struct CheckOpts {
     stats: bool,
     /// Rewrite-step budget per work item (`None` = the engine default).
     fuel: Option<u64>,
+    /// Wall-clock budget for the whole run (`None` = unbounded).
+    deadline: Option<Duration>,
+    /// Escalating-fuel retry ladder for exhausted items (`None` = no retry).
+    retry: Option<RetryFuel>,
+    /// Checkpoint file for phase-granular resume (`None` = no checkpoint).
+    checkpoint: Option<String>,
     /// Fault-injection plan (switches `check` into isolation-harness mode).
     faults: Option<FaultSpec>,
 }
 
-/// Splits `--jobs N` / `--stats` / `--fuel N` / `--faults PLAN` out of a
-/// `check` argument list, leaving the positional arguments in place.
+/// Splits the `check`/`batch` flags out of an argument list, leaving the
+/// positional arguments in place.
 fn parse_check_flags(args: &[String]) -> Result<(CheckOpts, Vec<String>), String> {
     let mut opts = CheckOpts {
         jobs: 1,
         stats: false,
         fuel: None,
+        deadline: None,
+        retry: None,
+        checkpoint: None,
         faults: None,
     };
     let mut positional = Vec::new();
@@ -122,6 +154,27 @@ fn parse_check_flags(args: &[String]) -> Result<(CheckOpts, Vec<String>), String
                 }
                 opts.fuel = Some(steps);
             }
+            "--deadline" => {
+                let Some(dur) = it.next() else {
+                    return Err("--deadline needs a duration, e.g. 500ms, 2s, 1m\n".to_owned());
+                };
+                opts.deadline = Some(parse_deadline(dur)?);
+            }
+            "--retry-fuel" => {
+                let Some(plan) = it.next() else {
+                    return Err(
+                        "--retry-fuel needs a plan, e.g. \"factor=4,rungs=3\"\n".to_owned()
+                    );
+                };
+                opts.retry =
+                    Some(RetryFuel::parse(plan).map_err(|e| format!("--retry-fuel: {e}\n"))?);
+            }
+            "--checkpoint" => {
+                let Some(path) = it.next() else {
+                    return Err("--checkpoint needs a file path\n".to_owned());
+                };
+                opts.checkpoint = Some(path.clone());
+            }
             "--faults" => {
                 let Some(plan) = it.next() else {
                     return Err("--faults needs a plan, e.g. \"seed=7,panic=1\"\n".to_owned());
@@ -135,6 +188,30 @@ fn parse_check_flags(args: &[String]) -> Result<(CheckOpts, Vec<String>), String
     Ok((opts, positional))
 }
 
+/// Parses a human wall-clock duration: `500ms`, `2s`, `1m`, or a bare
+/// number of seconds. Zero is allowed — an already-expired deadline is the
+/// cheapest way to see a fully degraded (all-UNDETERMINED) report.
+pub(crate) fn parse_deadline(text: &str) -> Result<Duration, String> {
+    // `ms` must be peeled before `s`: every millisecond suffix also ends
+    // in the seconds suffix.
+    let (digits, unit_ms) = if let Some(n) = text.strip_suffix("ms") {
+        (n, 1.0)
+    } else if let Some(n) = text.strip_suffix('s') {
+        (n, 1000.0)
+    } else if let Some(n) = text.strip_suffix('m') {
+        (n, 60_000.0)
+    } else {
+        (text, 1000.0)
+    };
+    let value: f64 = digits
+        .parse()
+        .map_err(|_| format!("--deadline: `{text}` is not a duration (try 500ms, 2s, 1m)\n"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!("--deadline: `{text}` is not a duration\n"));
+    }
+    Ok(Duration::from_secs_f64(value * unit_ms / 1000.0))
+}
+
 /// Runs the tool on already-split arguments (without the program name).
 pub fn run(args: &[String]) -> Outcome {
     match args {
@@ -146,6 +223,7 @@ pub fn run(args: &[String]) -> Outcome {
                 }
                 Err(msg) => Outcome::usage(format!("{msg}{USAGE}")),
             },
+            "batch" => cmd_batch(rest),
             "fmt" => with_file(rest, 0, |session, _| Outcome::ok(print_spec(session.spec()))),
             "eval" => with_file(rest, 1, |session, extra| cmd_eval(session, &extra[0], false)),
             "trace" => with_file(rest, 1, |session, extra| cmd_eval(session, &extra[0], true)),
@@ -184,12 +262,40 @@ fn cmd_check(session: &Session, opts: &CheckOpts) -> Outcome {
     if let Some(steps) = opts.fuel {
         config = config.with_fuel(Fuel::steps(steps));
     }
+    if let Some(retry) = opts.retry {
+        config = config.with_retry(retry);
+    }
+    if let Some(budget) = opts.deadline {
+        // The deadline starts counting here, at command entry, so every
+        // phase shares one wall-clock budget.
+        config = config.with_supervisor(Supervisor::none().with_deadline(Deadline::after(budget)));
+    }
     if let Some(plan) = &opts.faults {
+        if opts.checkpoint.is_some() {
+            // Fault runs are deliberately non-representative; caching their
+            // verdicts would poison a later real resume.
+            return Outcome::usage(format!(
+                "--checkpoint cannot be combined with --faults\n{USAGE}"
+            ));
+        }
         // The fault harness injects tiny fuel budgets on purpose; a warm
         // memo would rescue exhaust-faulted items, so it runs spec-based
         // with fresh rewriters rather than against the session.
         return cmd_check_faults(spec, plan, &config);
     }
+
+    // A checkpoint is keyed on the spec's canonical text and the parts of
+    // the configuration that determine verdicts (fuel and the retry plan —
+    // NOT --jobs, which never changes the report, and NOT the deadline,
+    // since a resume may run under a different remaining budget).
+    let mut ckpt = opts.checkpoint.as_ref().map(|path| {
+        let spec_hash = fnv1a_hex(&print_spec(spec));
+        let fingerprint = config_fingerprint(&config);
+        let loaded = Checkpoint::load(Path::new(path))
+            .filter(|c| c.matches(&spec_hash, &fingerprint))
+            .unwrap_or_else(|| Checkpoint::new(spec_hash, fingerprint));
+        (PathBuf::from(path), loaded)
+    });
 
     let mut out = String::new();
     let _ = writeln!(
@@ -202,56 +308,135 @@ fn cmd_check(session: &Session, opts: &CheckOpts) -> Outcome {
     );
     let mut failed = false;
 
-    let completeness = check_completeness_session(session, &config);
-    if completeness.has_definite_missing() {
-        // Definite negatives fail the check; a merely *partial* analysis
-        // (exhausted or faulted) is reported but keeps exit code 0 — the
-        // engine ran out of budget, the spec was not proved wrong.
-        failed = true;
-        let _ = writeln!(out, "sufficiently complete: NO");
-        for line in completeness.prompts().lines() {
-            let _ = writeln!(out, "  {line}");
+    // ---- completeness phase (cached section replayed verbatim) ----
+    let mut completeness = None;
+    match ckpt.as_ref().and_then(|(_, c)| c.phase("completeness")) {
+        Some(cached) => {
+            failed |= cached.failed;
+            out.push_str(&cached.section);
         }
-    } else if !completeness.undetermined_ops().is_empty() {
-        let _ = writeln!(out, "sufficiently complete: UNDETERMINED (partial analysis)");
-        for line in completeness.prompts().lines() {
-            let _ = writeln!(out, "  {line}");
+        None => {
+            let report = check_completeness_session(session, &config);
+            let mut section = String::new();
+            let phase_failed = if report.has_definite_missing() {
+                // Definite negatives fail the check; a merely *partial*
+                // analysis (exhausted, interrupted, or faulted) is reported
+                // but keeps exit code 0 — the engine ran out of budget, the
+                // spec was not proved wrong.
+                let _ = writeln!(section, "sufficiently complete: NO");
+                for line in report.prompts().lines() {
+                    let _ = writeln!(section, "  {line}");
+                }
+                true
+            } else if !report.undetermined_ops().is_empty() {
+                let _ = writeln!(section, "sufficiently complete: UNDETERMINED (partial analysis)");
+                for line in report.prompts().lines() {
+                    let _ = writeln!(section, "  {line}");
+                }
+                false
+            } else {
+                let _ = writeln!(section, "sufficiently complete: yes");
+                false
+            };
+            failed |= phase_failed;
+            // Only a phase that ran to the end is worth remembering: an
+            // interrupted analysis would replay its degraded verdicts on
+            // resume instead of finishing the work.
+            if report.interrupted_ops() == 0 {
+                if let Some((path, c)) = ckpt.as_mut() {
+                    c.set_phase(Phase {
+                        name: "completeness".to_owned(),
+                        failed: phase_failed,
+                        section: section.clone(),
+                        verdicts: Vec::new(),
+                    });
+                    let _ = c.save(path);
+                }
+            }
+            out.push_str(&section);
+            completeness = Some(report);
         }
-    } else {
-        let _ = writeln!(out, "sufficiently complete: yes");
     }
 
-    let consistency = check_consistency_session(session, &ProbeConfig::default(), &config);
-    match consistency.verdict() {
-        ConsistencyVerdict::Consistent => {
-            let _ = writeln!(
-                out,
-                "consistent: yes ({} critical pairs, {} probes)",
-                consistency.pairs_checked(),
-                consistency.probes_run()
-            );
+    // ---- consistency phase ----
+    let mut consistency = None;
+    match ckpt.as_ref().and_then(|(_, c)| c.phase("consistency")) {
+        Some(cached) => {
+            failed |= cached.failed;
+            out.push_str(&cached.section);
         }
-        ConsistencyVerdict::Exhausted => {
-            let _ = writeln!(
-                out,
-                "consistent: UNDETERMINED (normalization exhausted its fuel budget)"
-            );
-            for line in consistency.summary().lines().skip(1) {
-                let _ = writeln!(out, "  {line}");
+        None => {
+            let report = check_consistency_session(session, &ProbeConfig::default(), &config);
+            let mut section = String::new();
+            let phase_failed = match report.verdict() {
+                ConsistencyVerdict::Consistent => {
+                    let _ = writeln!(
+                        section,
+                        "consistent: yes ({} critical pairs, {} probes)",
+                        report.pairs_checked(),
+                        report.probes_run()
+                    );
+                    false
+                }
+                ConsistencyVerdict::Exhausted => {
+                    let _ = writeln!(
+                        section,
+                        "consistent: UNDETERMINED (normalization exhausted its fuel budget)"
+                    );
+                    for line in report.summary().lines().skip(1) {
+                        let _ = writeln!(section, "  {line}");
+                    }
+                    false
+                }
+                ConsistencyVerdict::Interrupted => {
+                    let _ = writeln!(
+                        section,
+                        "consistent: UNDETERMINED (checking was interrupted before a verdict)"
+                    );
+                    for line in report.summary().lines().skip(1) {
+                        let _ = writeln!(section, "  {line}");
+                    }
+                    false
+                }
+                ConsistencyVerdict::Inconsistent | ConsistencyVerdict::Unknown => {
+                    let _ = writeln!(section, "consistent: NO");
+                    for line in report.summary().lines().skip(1) {
+                        let _ = writeln!(section, "  {line}");
+                    }
+                    true
+                }
+            };
+            for f in report.failures() {
+                let _ = writeln!(section, "warning: {}", f.error);
             }
-        }
-        ConsistencyVerdict::Inconsistent | ConsistencyVerdict::Unknown => {
-            failed = true;
-            let _ = writeln!(out, "consistent: NO");
-            for line in consistency.summary().lines().skip(1) {
-                let _ = writeln!(out, "  {line}");
+            failed |= phase_failed;
+            if report.interrupted_items() == 0 {
+                if let Some((path, c)) = ckpt.as_mut() {
+                    c.set_phase(Phase {
+                        name: "consistency".to_owned(),
+                        failed: phase_failed,
+                        section: section.clone(),
+                        verdicts: vec![
+                            VerdictGroup {
+                                group: "pairs".to_owned(),
+                                items: report.pair_verdicts().to_vec(),
+                            },
+                            VerdictGroup {
+                                group: "probes".to_owned(),
+                                items: report.probe_verdicts().to_vec(),
+                            },
+                        ],
+                    });
+                    let _ = c.save(path);
+                }
             }
+            out.push_str(&section);
+            consistency = Some(report);
         }
-    }
-    for f in consistency.failures() {
-        let _ = writeln!(out, "warning: {}", f.error);
     }
 
+    // Structural warnings are cheap and deterministic — always recomputed,
+    // never cached.
     for w in classification_warnings(spec) {
         let _ = writeln!(out, "warning: {w}");
     }
@@ -264,16 +449,21 @@ fn cmd_check(session: &Session, opts: &CheckOpts) -> Outcome {
 
     if opts.stats {
         // Fold both phases into one telemetry block. Timings vary between
-        // runs; everything above this line does not.
+        // runs; everything above this line does not. Phases replayed from a
+        // checkpoint did no work, so they contribute nothing here.
         let mut stats = CheckStats::default();
-        let c = completeness.stats();
-        stats.absorb(&c.busy, c.elapsed, c.items);
-        stats.op_times = c.op_times.clone();
-        let k = consistency.stats();
-        stats.absorb(&k.busy, k.elapsed, k.items);
-        stats.pairs_checked = k.pairs_checked;
-        stats.probes_run = k.probes_run;
-        stats.rewrite_steps = k.rewrite_steps;
+        if let Some(c) = completeness.as_ref().map(|r| r.stats()) {
+            stats.absorb(&c.busy, c.elapsed, c.items);
+            stats.op_times = c.op_times.clone();
+            stats.retries.extend(c.retries.iter().cloned());
+        }
+        if let Some(k) = consistency.as_ref().map(|r| r.stats()) {
+            stats.absorb(&k.busy, k.elapsed, k.items);
+            stats.pairs_checked = k.pairs_checked;
+            stats.probes_run = k.probes_run;
+            stats.rewrite_steps = k.rewrite_steps;
+            stats.retries.extend(k.retries.iter().cloned());
+        }
         out.push_str(&stats.render());
         out.push_str(&session.stats().render());
     }
@@ -283,6 +473,15 @@ fn cmd_check(session: &Session, opts: &CheckOpts) -> Outcome {
     } else {
         Outcome::ok(out)
     }
+}
+
+/// The configuration fingerprint checkpoints are validated against.
+fn config_fingerprint(config: &CheckConfig) -> String {
+    let retry = match &config.retry {
+        Some(r) => format!("factor={},rungs={},cap={}", r.factor, r.rungs, r.cap_steps),
+        None => "none".to_owned(),
+    };
+    format!("fuel={};retry={retry}", config.fuel.steps)
 }
 
 /// `adt check --faults`: run the fault-isolation harness instead of the
@@ -304,6 +503,143 @@ fn cmd_check_faults(spec: &Spec, plan: &FaultSpec, config: &CheckConfig) -> Outc
         Outcome::ok(out)
     } else {
         Outcome::fail(out)
+    }
+}
+
+/// One spec's outcome under `adt batch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BatchVerdict {
+    /// Every check passed.
+    Passed,
+    /// A definite negative (incomplete, inconsistent, or a parse error).
+    Failed,
+    /// The checks ran out of fuel or time before a verdict.
+    Undetermined,
+    /// The spec made the checker panic twice in a row; the payload is the
+    /// second panic's message.
+    Quarantined(String),
+}
+
+/// Maps one `adt check` outcome onto a batch verdict.
+fn classify_batch(outcome: &Outcome) -> BatchVerdict {
+    if outcome.code != 0 {
+        BatchVerdict::Failed
+    } else if outcome.output.contains("UNDETERMINED") {
+        BatchVerdict::Undetermined
+    } else {
+        BatchVerdict::Passed
+    }
+}
+
+/// Runs one spec's check with panic isolation: a first panic earns one
+/// retry (transient faults happen), a second quarantines the spec. Returns
+/// the verdict and how many attempts panicked.
+fn supervise_spec(check: impl Fn() -> Outcome) -> (BatchVerdict, u32) {
+    for attempt in 0u32..2 {
+        match catch_unwind(AssertUnwindSafe(&check)) {
+            Ok(outcome) => return (classify_batch(&outcome), attempt),
+            Err(payload) if attempt == 0 => drop(payload),
+            Err(payload) => return (BatchVerdict::Quarantined(panic_text(&*payload)), 2),
+        }
+    }
+    unreachable!("both attempts return above")
+}
+
+pub(crate) fn panic_text(payload: &dyn std::any::Any) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| (*s).to_owned())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_owned())
+}
+
+/// `adt batch <dir>`: checks every `.adt` spec in a directory, in name
+/// order, under one supervisor policy. Each spec gets a *fresh* deadline
+/// (the `--deadline` budget is per spec, not for the whole batch) and full
+/// panic isolation. FAILED and UNDETERMINED specs are reported but do not
+/// affect the exit code — a batch is a survey, not a gate; only a
+/// quarantined spec (the checker itself crashed twice) exits nonzero.
+fn cmd_batch(args: &[String]) -> Outcome {
+    let (opts, positional) = match parse_check_flags(args) {
+        Ok(parsed) => parsed,
+        Err(msg) => return Outcome::usage(format!("{msg}{USAGE}")),
+    };
+    if opts.checkpoint.is_some() {
+        return Outcome::usage(format!(
+            "batch does not take --checkpoint (each spec is checked in isolation)\n{USAGE}"
+        ));
+    }
+    if opts.faults.is_some() {
+        return Outcome::usage(format!(
+            "batch does not take --faults (use `adt check --faults` per spec)\n{USAGE}"
+        ));
+    }
+    let [dir] = positional.as_slice() else {
+        return Outcome::usage(USAGE.to_owned());
+    };
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) => return Outcome::usage(format!("cannot read `{dir}`: {e}\n")),
+    };
+    let mut specs: Vec<PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "adt"))
+        .collect();
+    specs.sort();
+    if specs.is_empty() {
+        return Outcome::usage(format!("no .adt specs in `{dir}`\n"));
+    }
+
+    let mut out = String::new();
+    let (mut passed, mut failed, mut undetermined, mut quarantined) = (0, 0, 0, 0);
+    for path in &specs {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| path.display().to_string());
+        let (verdict, panics) = supervise_spec(|| {
+            let source = match fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => return Outcome::fail(format!("cannot read `{}`: {e}\n", path.display())),
+            };
+            match parse_session(&source) {
+                // cmd_check re-arms Deadline::after at entry, so each spec
+                // starts with the full --deadline budget.
+                Ok(session) => cmd_check(&session, &opts),
+                Err(diags) => Outcome::fail(diags.render(&source)),
+            }
+        });
+        let retried = if panics == 1 { " (retried after a panic)" } else { "" };
+        match verdict {
+            BatchVerdict::Passed => {
+                passed += 1;
+                let _ = writeln!(out, "  {name}: PASSED{retried}");
+            }
+            BatchVerdict::Failed => {
+                failed += 1;
+                let _ = writeln!(out, "  {name}: FAILED{retried}");
+            }
+            BatchVerdict::Undetermined => {
+                undetermined += 1;
+                let _ = writeln!(out, "  {name}: UNDETERMINED{retried}");
+            }
+            BatchVerdict::Quarantined(msg) => {
+                quarantined += 1;
+                let _ = writeln!(out, "  {name}: QUARANTINED (panicked twice: {msg})");
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "batch: {} spec(s) — {passed} passed, {failed} failed, {undetermined} undetermined, \
+         {quarantined} quarantined",
+        specs.len()
+    );
+    if quarantined > 0 {
+        Outcome::fail(out)
+    } else {
+        Outcome::ok(out)
     }
 }
 
@@ -697,5 +1033,357 @@ end
         let out = run(&args(&["prove", path.to_str().unwrap(), "A", "B"]));
         assert_eq!(out.code, 2);
         let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn parse_deadline_accepts_common_suffixes() {
+        assert_eq!(parse_deadline("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_deadline("2s").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_deadline("1m").unwrap(), Duration::from_secs(60));
+        assert_eq!(parse_deadline("3").unwrap(), Duration::from_secs(3));
+        assert_eq!(parse_deadline("0s").unwrap(), Duration::ZERO);
+        assert_eq!(parse_deadline("1.5s").unwrap(), Duration::from_millis(1500));
+        assert!(parse_deadline("fast").is_err());
+        assert!(parse_deadline("-1s").is_err());
+        let out = run(&args(&["check", "--deadline", "soon", "x.adt"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("not a duration"));
+    }
+
+    #[test]
+    fn check_expired_deadline_degrades_to_undetermined() {
+        let path = fixture("deadline0", QUEUE);
+        let mut reports = Vec::new();
+        for jobs in ["1", "4"] {
+            let out = run(&args(&[
+                "check",
+                "--jobs",
+                jobs,
+                "--deadline",
+                "0s",
+                path.to_str().unwrap(),
+            ]));
+            assert_eq!(out.code, 0, "jobs {jobs}: {}", out.output);
+            assert!(
+                out.output
+                    .contains("sufficiently complete: UNDETERMINED (partial analysis)"),
+                "jobs {jobs}: {}",
+                out.output
+            );
+            assert!(
+                out.output
+                    .contains("consistent: UNDETERMINED (checking was interrupted"),
+                "jobs {jobs}: {}",
+                out.output
+            );
+            assert!(
+                out.output.contains("deadline exceeded"),
+                "jobs {jobs}: {}",
+                out.output
+            );
+            reports.push(out);
+        }
+        // An already-expired deadline interrupts every item before it
+        // starts, so even the degraded report is identical at any --jobs.
+        assert_eq!(reports[0], reports[1]);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_generous_deadline_leaves_the_report_untouched() {
+        let path = fixture("deadline60", QUEUE);
+        let plain = run(&args(&["check", path.to_str().unwrap()]));
+        let supervised = run(&args(&[
+            "check",
+            "--deadline",
+            "60s",
+            path.to_str().unwrap(),
+        ]));
+        assert_eq!(plain, supervised);
+        let _ = fs::remove_file(path);
+    }
+
+    fn retry_stat_lines(output: &str) -> Vec<String> {
+        output
+            .lines()
+            .filter(|l| l.contains("stats: retry"))
+            .map(str::to_owned)
+            .collect()
+    }
+
+    #[test]
+    fn check_retry_ladder_reports_rescued_rungs_in_stats() {
+        // Starve the checker (--fuel 2) and let the ladder escalate: items
+        // that exhausted their first budget come back rescued, and --stats
+        // names the rung that saved each one. Sequential only — at tiny
+        // budgets a concurrently warmed memo can legitimately rescue an
+        // item at rung 0, so cross-job telemetry is compared on the
+        // divergent spec below instead.
+        let path = fixture("retry", QUEUE);
+        let cmd = args(&[
+            "check",
+            "--fuel",
+            "2",
+            "--retry-fuel",
+            "factor=8,rungs=3",
+            "--stats",
+            path.to_str().unwrap(),
+        ]);
+        let out = run(&cmd);
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("rescued at rung"), "{}", out.output);
+        let lines = retry_stat_lines(&out.output);
+        assert!(!lines.is_empty(), "{}", out.output);
+        // Re-running the same command reproduces the same ladder telemetry.
+        assert_eq!(lines, retry_stat_lines(&run(&cmd).output));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_retry_ladder_telemetry_is_identical_across_job_counts() {
+        // A genuinely divergent operation can never be rescued — no memo
+        // warmth or scheduling changes that — so the rung telemetry must be
+        // byte-identical at any --jobs.
+        let path = fixture("retryloop", LOOP);
+        let mut per_jobs = Vec::new();
+        for jobs in ["1", "4"] {
+            let out = run(&args(&[
+                "check",
+                "--jobs",
+                jobs,
+                "--fuel",
+                "100",
+                "--retry-fuel",
+                "factor=4,rungs=2",
+                "--stats",
+                path.to_str().unwrap(),
+            ]));
+            assert_eq!(out.code, 0, "jobs {jobs}: {}", out.output);
+            assert!(
+                out.output.contains("still exhausted at rung 2"),
+                "jobs {jobs}: {}",
+                out.output
+            );
+            per_jobs.push(retry_stat_lines(&out.output));
+        }
+        assert_eq!(per_jobs[0], per_jobs[1]);
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_rejects_malformed_retry_and_deadline_flags() {
+        let out = run(&args(&["check", "--retry-fuel", "sideways=9", "x.adt"]));
+        assert_eq!(out.code, 2, "{}", out.output);
+        let out = run(&args(&["check", "--retry-fuel"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("--retry-fuel needs a plan"));
+        let out = run(&args(&["check", "--deadline"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("--deadline needs a duration"));
+        let out = run(&args(&["check", "--checkpoint"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("--checkpoint needs a file path"));
+    }
+
+    #[test]
+    fn check_checkpoint_with_faults_is_a_usage_error() {
+        let path = fixture("ckptfaults", QUEUE);
+        let out = run(&args(&[
+            "check",
+            "--checkpoint",
+            "/tmp/never-written.json",
+            "--faults",
+            "seed=7,panic=1",
+            path.to_str().unwrap(),
+        ]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("--checkpoint cannot be combined"));
+        let _ = fs::remove_file(path);
+    }
+
+    #[test]
+    fn check_checkpoint_resumes_byte_identical_at_any_job_count() {
+        let path = fixture("ckpt", QUEUE);
+        let mut ck = std::env::temp_dir();
+        ck.push(format!("adt_cli_test_{}_ckpt.json", std::process::id()));
+        let _ = fs::remove_file(&ck);
+        let plain = run(&args(&["check", path.to_str().unwrap()]));
+
+        // A full run populates the checkpoint without changing the report.
+        let first = run(&args(&[
+            "check",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            path.to_str().unwrap(),
+        ]));
+        assert_eq!(first, plain);
+        let saved = Checkpoint::load(&ck).expect("checkpoint written");
+        assert!(saved.phase("completeness").is_some());
+        assert!(saved.phase("consistency").is_some());
+
+        // Simulate a run killed between the phases: only completeness was
+        // recorded. Resuming must replay it and recompute the rest, ending
+        // byte-identical to the uninterrupted run — at any --jobs.
+        let mut partial = saved.clone();
+        partial.phases.retain(|p| p.name == "completeness");
+        for jobs in ["1", "4"] {
+            partial.save(&ck).expect("checkpoint is writable");
+            let resumed = run(&args(&[
+                "check",
+                "--jobs",
+                jobs,
+                "--checkpoint",
+                ck.to_str().unwrap(),
+                path.to_str().unwrap(),
+            ]));
+            assert_eq!(resumed, plain, "jobs {jobs}");
+        }
+
+        // A replay from a fully populated checkpoint is also identical.
+        let replay = run(&args(&[
+            "check",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            path.to_str().unwrap(),
+        ]));
+        assert_eq!(replay, plain);
+
+        // Changing the fuel changes the fingerprint: the stale checkpoint
+        // is ignored (fresh run), then overwritten with the new config.
+        let refueled = run(&args(&[
+            "check",
+            "--fuel",
+            "500000",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            path.to_str().unwrap(),
+        ]));
+        assert_eq!(refueled.code, 0, "{}", refueled.output);
+        let rewritten = Checkpoint::load(&ck).expect("checkpoint rewritten");
+        assert!(rewritten.config.contains("fuel=500000"));
+
+        let _ = fs::remove_file(path);
+        let _ = fs::remove_file(ck);
+    }
+
+    #[test]
+    fn expired_deadline_caches_no_phases() {
+        let path = fixture("ckptdead", QUEUE);
+        let mut ck = std::env::temp_dir();
+        ck.push(format!("adt_cli_test_{}_dead.json", std::process::id()));
+        let _ = fs::remove_file(&ck);
+        let out = run(&args(&[
+            "check",
+            "--deadline",
+            "0s",
+            "--checkpoint",
+            ck.to_str().unwrap(),
+            path.to_str().unwrap(),
+        ]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        // Both phases were interrupted, so neither may be remembered — a
+        // resume must redo the work, not replay the degraded verdicts.
+        assert!(Checkpoint::load(&ck).is_none_or(|c| c.phases.is_empty()));
+        let _ = fs::remove_file(path);
+        let _ = fs::remove_file(ck);
+    }
+
+    fn batch_dir(name: &str, specs: &[(&str, &str)]) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("adt_cli_test_{}_{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("temp dir is writable");
+        for (file, contents) in specs {
+            fs::write(dir.join(file), contents).expect("spec is writable");
+        }
+        dir
+    }
+
+    #[test]
+    fn batch_surveys_a_directory_without_failing_on_bad_specs() {
+        let incomplete: String = QUEUE
+            .lines()
+            .filter(|l| !l.contains("[4]"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let dir = batch_dir(
+            "batch",
+            &[
+                ("a_good.adt", QUEUE),
+                ("b_incomplete.adt", &incomplete),
+                ("c_loop.adt", LOOP),
+                ("ignored.txt", "not a spec"),
+            ],
+        );
+        let out = run(&args(&["batch", "--fuel", "100", dir.to_str().unwrap()]));
+        assert_eq!(out.code, 0, "{}", out.output);
+        assert!(out.output.contains("a_good.adt: PASSED"), "{}", out.output);
+        assert!(
+            out.output.contains("b_incomplete.adt: FAILED"),
+            "{}",
+            out.output
+        );
+        assert!(
+            out.output.contains("c_loop.adt: UNDETERMINED"),
+            "{}",
+            out.output
+        );
+        assert!(
+            out.output.contains(
+                "batch: 3 spec(s) — 1 passed, 1 failed, 1 undetermined, 0 quarantined"
+            ),
+            "{}",
+            out.output
+        );
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn batch_rejects_checkpoint_faults_and_bad_directories() {
+        let out = run(&args(&["batch", "--checkpoint", "x.json", "specs"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("batch does not take --checkpoint"));
+        let out = run(&args(&["batch", "--faults", "seed=7,panic=1", "specs"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("batch does not take --faults"));
+        let out = run(&args(&["batch", "/no/such/dir"]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("cannot read"));
+        let empty = batch_dir("empty", &[]);
+        let out = run(&args(&["batch", empty.to_str().unwrap()]));
+        assert_eq!(out.code, 2);
+        assert!(out.output.contains("no .adt specs"));
+        let _ = fs::remove_dir_all(empty);
+    }
+
+    #[test]
+    fn supervise_spec_retries_once_then_quarantines() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = AtomicU32::new(0);
+        let (verdict, panics) = supervise_spec(|| {
+            if calls.fetch_add(1, Ordering::SeqCst) == 0 {
+                panic!("transient fault");
+            }
+            Outcome::ok("consistent: yes\n".to_owned())
+        });
+        assert_eq!(verdict, BatchVerdict::Passed);
+        assert_eq!(panics, 1);
+
+        let (verdict, panics) = supervise_spec(|| panic!("hard crash"));
+        assert!(
+            matches!(&verdict, BatchVerdict::Quarantined(msg) if msg.contains("hard crash")),
+            "{verdict:?}"
+        );
+        assert_eq!(panics, 2);
+    }
+
+    #[test]
+    fn classify_batch_maps_outcomes_onto_verdicts() {
+        let ok = Outcome::ok("consistent: yes\n".to_owned());
+        assert_eq!(classify_batch(&ok), BatchVerdict::Passed);
+        let undet = Outcome::ok("consistent: UNDETERMINED (…)\n".to_owned());
+        assert_eq!(classify_batch(&undet), BatchVerdict::Undetermined);
+        let bad = Outcome::fail("consistent: NO\n".to_owned());
+        assert_eq!(classify_batch(&bad), BatchVerdict::Failed);
     }
 }

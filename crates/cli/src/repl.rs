@@ -16,9 +16,11 @@
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
 
-use adt_check::{CheckConfig, ProbeConfig};
-use adt_core::{display, Session, Spec, Subst, Term};
+use adt_check::{CheckConfig, ConsistencyVerdict, ProbeConfig};
+use adt_core::{display, Deadline, Session, Spec, Subst, Supervisor, Term};
 use adt_dsl::{lower_term_in, parse_term_source, Diagnostics};
 use adt_rewrite::{Proof, Rewriter};
 
@@ -33,6 +35,8 @@ const REPL_HELP: &str = "commands:
   :vars                 list bound session variables
   :axioms               list the specification's axioms
   :stats                show session arena/memo telemetry
+  :deadline <dur>|off   bound every later line by wall clock (500ms, 2s, 1m);
+                        work stopped at the deadline reports UNDETERMINED
   :reset                drop the session (bindings, arena and memo)
   :help                 this text
   :quit                 leave
@@ -66,6 +70,7 @@ pub fn run_repl(
 ) -> std::io::Result<usize> {
     let mut session = Session::new(spec.clone());
     let mut env: HashMap<String, Term> = HashMap::new();
+    let mut deadline: Option<Duration> = None;
     let mut executed = 0;
     let prompt = spec.name().to_lowercase();
 
@@ -84,21 +89,36 @@ pub fn run_repl(
         }
         executed += 1;
         let mut reply = String::new();
-        match dispatch(&session, &mut env, line, &mut reply) {
-            Ok(ReplAction::Continue) => {
+        // One bad line must not kill the whole session: a panic anywhere in
+        // evaluation is caught here, reported as UNDETERMINED, and the loop
+        // keeps its prompt. (`:reset` is the escape hatch if the panic left
+        // the session's caches in a state the user no longer trusts.)
+        let dispatched = catch_unwind(AssertUnwindSafe(|| {
+            dispatch(&session, &mut env, &mut deadline, line, &mut reply)
+        }));
+        match dispatched {
+            Ok(Ok(ReplAction::Continue)) => {
                 output.write_all(reply.as_bytes())?;
             }
-            Ok(ReplAction::Quit) => {
+            Ok(Ok(ReplAction::Quit)) => {
                 output.write_all(reply.as_bytes())?;
                 return Ok(executed);
             }
-            Ok(ReplAction::Reset) => {
+            Ok(Ok(ReplAction::Reset)) => {
                 session = Session::new(spec.clone());
                 env.clear();
                 output.write_all(reply.as_bytes())?;
             }
-            Err(diags) => {
+            Ok(Err(diags)) => {
                 writeln!(output, "{}", diags.render(line).trim_end())?;
+            }
+            Err(payload) => {
+                writeln!(
+                    output,
+                    "UNDETERMINED: evaluation panicked: {}",
+                    crate::panic_text(&*payload)
+                )?;
+                writeln!(output, "(the session survives; :reset drops it if in doubt)")?;
             }
         }
     }
@@ -108,13 +128,20 @@ pub fn run_repl(
 fn dispatch(
     session: &Session,
     env: &mut HashMap<String, Term>,
+    deadline: &mut Option<Duration>,
     line: &str,
     reply: &mut String,
 ) -> Result<ReplAction, Diagnostics> {
     let spec = session.spec();
+    // Every line with a `:deadline` in force gets a supervisor armed NOW,
+    // so the budget covers exactly this line's evaluation.
+    let supervisor = match *deadline {
+        Some(budget) => Supervisor::none().with_deadline(Deadline::after(budget)),
+        None => Supervisor::none(),
+    };
     // Cheap per line (a rule-set clone); the memo behind it is the
     // session's, so rewrites on earlier lines keep paying off here.
-    let rw = Rewriter::for_session(session);
+    let rw = Rewriter::for_session(session).supervised(supervisor.clone());
     if let Some(rest) = line.strip_prefix(':') {
         let (cmd, arg) = match rest.split_once(char::is_whitespace) {
             Some((c, a)) => (c, a.trim()),
@@ -128,6 +155,26 @@ fn dispatch(
                 return Ok(ReplAction::Reset);
             }
             "stats" => reply.push_str(&session.stats().render()),
+            "deadline" => {
+                if arg == "off" {
+                    *deadline = None;
+                    reply.push_str("per-line deadline off\n");
+                } else if arg.is_empty() {
+                    reply.push_str("usage: :deadline <duration>|off (e.g. :deadline 2s)\n");
+                } else {
+                    match crate::parse_deadline(arg) {
+                        Ok(budget) => {
+                            *deadline = Some(budget);
+                            let _ = writeln!(reply, "per-line deadline set to {arg}");
+                        }
+                        Err(_) => {
+                            let _ = writeln!(reply, "bad duration `{arg}` (try 500ms, 2s, 1m)");
+                        }
+                    }
+                }
+            }
+            #[cfg(test)]
+            "__panic" => panic!("injected repl panic"),
             "vars" => {
                 if env.is_empty() {
                     reply.push_str("no session variables bound\n");
@@ -156,12 +203,19 @@ fn dispatch(
                 }
             }
             "check" => {
-                let config = CheckConfig::jobs(1);
+                // The checkers honor the per-line deadline too: a `:check`
+                // that outruns its budget degrades to UNDETERMINED.
+                let config = CheckConfig::jobs(1).with_supervisor(supervisor.clone());
                 let completeness = adt_check::check_completeness_session(session, &config);
                 if completeness.is_sufficiently_complete() {
                     reply.push_str("sufficiently complete: yes\n");
                 } else {
-                    reply.push_str("sufficiently complete: NO\n");
+                    let verdict = if completeness.has_definite_missing() {
+                        "NO"
+                    } else {
+                        "UNDETERMINED"
+                    };
+                    let _ = writeln!(reply, "sufficiently complete: {verdict}");
                     for line in completeness.prompts().lines() {
                         let _ = writeln!(reply, "  {line}");
                     }
@@ -171,10 +225,11 @@ fn dispatch(
                 let _ = writeln!(
                     reply,
                     "consistent: {}",
-                    if consistency.is_consistent() {
-                        "yes"
-                    } else {
-                        "NO"
+                    match consistency.verdict() {
+                        ConsistencyVerdict::Consistent => "yes",
+                        ConsistencyVerdict::Inconsistent | ConsistencyVerdict::Unknown => "NO",
+                        ConsistencyVerdict::Exhausted | ConsistencyVerdict::Interrupted =>
+                            "UNDETERMINED",
                     }
                 );
             }
@@ -467,5 +522,52 @@ end
         let out = drive("x := REMOVE(NEW)\nIS_EMPTY?(x)\n:quit\n");
         assert!(out.contains("x = error"), "{out}");
         assert!(out.contains("error   ("), "{out}");
+    }
+
+    #[test]
+    fn deadline_interrupts_evaluation_and_can_be_lifted() {
+        // An already-expired budget interrupts on the very first rewrite
+        // step; `:deadline off` restores normal evaluation — same session,
+        // same term.
+        let out = drive(
+            ":deadline 0s\nFRONT(ADD(NEW, A))\n:deadline off\nFRONT(ADD(NEW, A))\n:quit\n",
+        );
+        assert!(out.contains("per-line deadline set to 0s"), "{out}");
+        assert!(
+            out.contains("interrupted (deadline exceeded)"),
+            "{out}"
+        );
+        assert!(out.contains("per-line deadline off"), "{out}");
+        assert!(out.contains("A   ("), "{out}");
+    }
+
+    #[test]
+    fn deadline_applies_to_check_too() {
+        let out = drive(":deadline 0s\n:check\n:quit\n");
+        assert!(out.contains("sufficiently complete: UNDETERMINED"), "{out}");
+        assert!(out.contains("consistent: UNDETERMINED"), "{out}");
+    }
+
+    #[test]
+    fn deadline_usage_and_bad_durations_are_reported() {
+        let out = drive(":deadline\n:deadline soon\n:quit\n");
+        assert!(out.contains("usage: :deadline"), "{out}");
+        assert!(out.contains("bad duration `soon`"), "{out}");
+    }
+
+    #[test]
+    fn panic_in_evaluation_does_not_kill_the_session() {
+        // `:__panic` is a test-only line that panics inside dispatch —
+        // standing in for any engine bug. The session must answer with an
+        // UNDETERMINED diagnostic and keep serving later lines; `:reset`
+        // still works afterwards.
+        let out = drive("x := ADD(NEW, A)\n:__panic\nFRONT(x)\n:reset\n:vars\n:quit\n");
+        assert!(
+            out.contains("UNDETERMINED: evaluation panicked: injected repl panic"),
+            "{out}"
+        );
+        assert!(out.contains(":reset drops it if in doubt"), "{out}");
+        assert!(out.contains("A   ("), "{out}");
+        assert!(out.contains("no session variables bound"), "{out}");
     }
 }

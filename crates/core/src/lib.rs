@@ -70,6 +70,8 @@ mod session;
 mod signature;
 mod spec;
 mod subst;
+#[cfg_attr(not(test), deny(clippy::unwrap_used))]
+mod supervise;
 mod term;
 mod unify;
 
@@ -87,6 +89,7 @@ pub use session::{Session, SessionStats, ShardedMemo};
 pub use signature::{OpInfo, Signature, SortInfo, VarInfo};
 pub use spec::{Spec, SpecBuilder};
 pub use subst::Subst;
+pub use supervise::{CancelToken, Deadline, Interrupt, Supervisor};
 pub use term::{Ite, Position, Term};
 pub use unify::{unify, Unifier};
 

@@ -6,9 +6,10 @@
 //! axiomatization is inconsistent", §3). This module computes all critical
 //! pairs of a specification and classifies each as joinable or diverged.
 
-use adt_core::{unify, Position, Spec, Subst, Term, VarId};
+use adt_core::{unify, Fuel, FuelSpent, Interrupt, Position, Spec, Subst, Term, VarId};
 
 use crate::engine::Rewriter;
+use crate::error::RewriteError;
 use crate::rule::RuleSet;
 use crate::Result;
 
@@ -26,7 +27,23 @@ pub enum PairStatus {
         /// Normal form of the inner-rewrite reduct.
         right_nf: Term,
     },
-    /// Normalization failed (fuel exhaustion), so joinability is unknown.
+    /// Normalization ran out of fuel, so joinability is unknown — but
+    /// structurally so: the receipt lets a retry ladder re-classify the
+    /// pair with a bigger budget.
+    Exhausted {
+        /// What was spent before the budget tripped.
+        spent: FuelSpent,
+        /// The budget that tripped.
+        budget: Fuel,
+    },
+    /// The run's supervisor stopped the classification (cancellation or
+    /// deadline); never retried.
+    Interrupted {
+        /// Why the supervisor fired.
+        kind: Interrupt,
+    },
+    /// Normalization failed for another reason, so joinability is
+    /// unknown.
     Unknown {
         /// Human-readable reason.
         reason: String,
@@ -266,16 +283,25 @@ fn join(rw: &Rewriter<'_>, left: &Term, right: &Term) -> PairStatus {
     match rw.prove_equal(left, right, 6) {
         Ok(crate::Proof::Proved { .. }) => match rw.normalize(left) {
             Ok(nf) => PairStatus::Joinable(nf),
-            Err(e) => PairStatus::Unknown {
-                reason: e.to_string(),
-            },
+            Err(e) => undetermined(e),
         },
         Ok(crate::Proof::Undecided { lhs_nf, rhs_nf, .. }) => PairStatus::Diverged {
             left_nf: lhs_nf,
             right_nf: rhs_nf,
         },
-        Err(e) => PairStatus::Unknown {
-            reason: e.to_string(),
+        Err(e) => undetermined(e),
+    }
+}
+
+/// Maps a normalization error to the matching undetermined status,
+/// keeping exhaustion receipts and interrupts structural so the check
+/// layer can retry (or refuse to retry) without parsing strings.
+fn undetermined(e: RewriteError) -> PairStatus {
+    match e {
+        RewriteError::Exhausted { spent, budget } => PairStatus::Exhausted { spent, budget },
+        RewriteError::Interrupted { kind, .. } => PairStatus::Interrupted { kind },
+        other => PairStatus::Unknown {
+            reason: other.to_string(),
         },
     }
 }

@@ -40,8 +40,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use adt_core::{
-    ExhaustionCause, Fuel, FuelSpent, OpId, Session, ShardedMemo, SortId, Spec, Term, TermArena,
-    TermId, TermNode, VarId,
+    ExhaustionCause, Fuel, FuelSpent, OpId, Session, ShardedMemo, SortId, Spec, Supervisor, Term,
+    TermArena, TermId, TermNode, VarId,
 };
 
 use crate::error::RewriteError;
@@ -101,9 +101,10 @@ fn lookup(asms: &Assumptions, cond: TermId) -> Option<bool> {
     asms.iter().rev().find(|&&(t, _)| t == cond).map(|&(_, b)| b)
 }
 
-/// How often (in steps) the wall-clock deadline is polled. Checking every
-/// step would put a syscall in the hot loop; every 1024th step bounds the
-/// overshoot while keeping the common (no-deadline) path branch-only.
+/// How often (in steps) the wall-clock deadline and the supervisor are
+/// polled. Checking every step would put a syscall in the hot loop;
+/// every 1024th step bounds the overshoot while keeping the common
+/// (unsupervised, no-deadline) path branch-only.
 const DEADLINE_CHECK_INTERVAL: u64 = 1024;
 
 pub(crate) struct EvalState {
@@ -114,17 +115,25 @@ pub(crate) struct EvalState {
     /// Only sampled when the budget carries a deadline, so budgets
     /// without one stay fully deterministic.
     started: Option<Instant>,
+    /// The run's supervisor, polled at the deadline cadence.
+    supervisor: Supervisor,
+    /// Cached `supervisor.is_active()` so the inert case costs one
+    /// branch per poll window instead of two `Option` inspections.
+    supervised: bool,
     pub(crate) trace: Option<Trace>,
 }
 
 impl EvalState {
-    pub(crate) fn new(budget: &Fuel, trace: Option<Trace>) -> Self {
+    pub(crate) fn new(budget: &Fuel, supervisor: Supervisor, trace: Option<Trace>) -> Self {
+        let supervised = supervisor.is_active();
         EvalState {
             remaining: budget.steps,
             steps: 0,
             depth: 0,
             max_depth: 0,
             started: budget.deadline.map(|_| Instant::now()),
+            supervisor,
+            supervised,
             trace,
         }
     }
@@ -146,12 +155,24 @@ impl EvalState {
         }
         self.remaining -= 1;
         self.steps += 1;
-        if let (Some(deadline), Some(started)) = (budget.deadline, self.started) {
-            if self.steps.is_multiple_of(DEADLINE_CHECK_INTERVAL) && started.elapsed() >= deadline {
-                return Err(RewriteError::Exhausted {
-                    spent: self.spent(ExhaustionCause::Deadline),
-                    budget: *budget,
-                });
+        // Poll on the very first step as well: a short normalization must
+        // still observe an already-expired deadline or cancellation.
+        if self.steps == 1 || self.steps.is_multiple_of(DEADLINE_CHECK_INTERVAL) {
+            if let (Some(deadline), Some(started)) = (budget.deadline, self.started) {
+                if started.elapsed() >= deadline {
+                    return Err(RewriteError::Exhausted {
+                        spent: self.spent(ExhaustionCause::Deadline),
+                        budget: *budget,
+                    });
+                }
+            }
+            if self.supervised {
+                if let Some(kind) = self.supervisor.interrupted() {
+                    return Err(RewriteError::Interrupted {
+                        kind,
+                        steps: self.steps,
+                    });
+                }
             }
         }
         Ok(())
@@ -241,6 +262,9 @@ pub struct Rewriter<'a> {
     /// budget, and facts stay valid across those), and
     /// [`Rewriter::for_session`] shares the session's memo the same way.
     memo: Option<Arc<ShardedMemo>>,
+    /// Cooperative supervision (deadline/cancellation), polled by every
+    /// normalization this rewriter runs. Inert by default.
+    supervisor: Supervisor,
 }
 
 /// A rule whose sides are interned into the run's arena, paired with its
@@ -404,6 +428,7 @@ impl<'a> Rewriter<'a> {
             rules: RuleSet::from_spec(spec),
             budget: Fuel::default(),
             memo: None,
+            supervisor: Supervisor::none(),
         }
     }
 
@@ -415,6 +440,7 @@ impl<'a> Rewriter<'a> {
             rules,
             budget: Fuel::default(),
             memo: None,
+            supervisor: Supervisor::none(),
         }
     }
 
@@ -429,6 +455,7 @@ impl<'a> Rewriter<'a> {
             rules: session.rules().clone(),
             budget: Fuel::default(),
             memo: Some(Arc::clone(session.memo())),
+            supervisor: Supervisor::none(),
         }
     }
 
@@ -486,6 +513,22 @@ impl<'a> Rewriter<'a> {
     /// The resource budget in effect for each normalization.
     pub fn budget(&self) -> Fuel {
         self.budget
+    }
+
+    /// Places this rewriter under a [`Supervisor`]: every normalization
+    /// polls the deadline/cancel token at the same cadence as the fuel
+    /// deadline check and fails with [`RewriteError::Interrupted`] once
+    /// it fires. An inert supervisor (the default) costs one predicted
+    /// branch per poll window.
+    #[must_use]
+    pub fn supervised(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// The supervisor in effect for each normalization.
+    pub fn supervisor(&self) -> &Supervisor {
+        &self.supervisor
     }
 
     /// Adds an extra rule (tried after earlier rules with the same head).
@@ -678,7 +721,7 @@ impl<'a> Rewriter<'a> {
         trace: Option<Trace>,
         asms: &[(Term, bool)],
     ) -> Result<(Normalization, Option<Trace>)> {
-        let mut st = EvalState::new(&self.budget, trace);
+        let mut st = EvalState::new(&self.budget, self.supervisor.clone(), trace);
         if let Some(t) = &mut st.trace {
             t.set_initial(term);
         }

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use adt_core::{EngineError, ExhaustionCause, Fuel, FuelSpent};
+use adt_core::{EngineError, ExhaustionCause, Fuel, FuelSpent, Interrupt};
 
 /// Errors raised during normalization.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +35,16 @@ pub enum RewriteError {
         /// Human-readable description.
         detail: String,
     },
+    /// The run's supervisor stopped this normalization (cooperative
+    /// cancellation or an expired wall-clock deadline). Unlike
+    /// [`RewriteError::Exhausted`], an interrupt is never retried with
+    /// a bigger budget — the run itself is over.
+    Interrupted {
+        /// Why the supervisor fired.
+        kind: Interrupt,
+        /// Rewrite steps taken before the interrupt was observed.
+        steps: u64,
+    },
     /// A structural fault inside the engine itself (dangling id, poisoned
     /// lock) surfaced as a value instead of a panic.
     Engine(EngineError),
@@ -45,6 +55,14 @@ impl RewriteError {
     pub fn exhaustion(&self) -> Option<FuelSpent> {
         match self {
             RewriteError::Exhausted { spent, .. } => Some(*spent),
+            _ => None,
+        }
+    }
+
+    /// The interrupt kind, if this error reports a supervised stop.
+    pub fn interrupt(&self) -> Option<Interrupt> {
+        match self {
+            RewriteError::Interrupted { kind, .. } => Some(*kind),
             _ => None,
         }
     }
@@ -72,6 +90,12 @@ impl fmt::Display for RewriteError {
                     spent.steps
                 ),
             },
+            RewriteError::Interrupted { kind, steps } => {
+                write!(
+                    f,
+                    "normalization was interrupted ({kind}) after {steps} step(s)"
+                )
+            }
             RewriteError::IllSorted { detail } => {
                 write!(f, "term became ill-sorted during rewriting: {detail}")
             }

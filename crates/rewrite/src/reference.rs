@@ -38,7 +38,7 @@ impl Rewriter<'_> {
     ///
     /// As for [`Rewriter::normalize`].
     pub fn normalize_reference(&self, term: &Term) -> Result<Normalization> {
-        let mut st = EvalState::new(&self.budget(), None);
+        let mut st = EvalState::new(&self.budget(), self.supervisor().clone(), None);
         let nf = self.reference_eval(term.clone(), &mut st, &Vec::new())?;
         Ok(Normalization {
             term: nf,
@@ -59,7 +59,7 @@ impl Rewriter<'_> {
         term: &Term,
         asms: &[(Term, bool)],
     ) -> Result<Term> {
-        let mut st = EvalState::new(&self.budget(), None);
+        let mut st = EvalState::new(&self.budget(), self.supervisor().clone(), None);
         self.reference_eval(term.clone(), &mut st, &asms.to_vec())
     }
 

@@ -22,8 +22,8 @@ use adt_check::{
     check_completeness_session, check_completeness_with_config, check_consistency_session,
     check_consistency_with_config, CheckConfig, CompletenessReport, ConsistencyReport, ProbeConfig,
 };
-use adt_core::{display, Fuel, Session, Spec};
-use adt_rewrite::Rewriter;
+use adt_core::{display, Fuel, Session, Spec, Supervisor};
+use adt_rewrite::{RewriteError, Rewriter};
 
 use crate::eval::eval_ground;
 use crate::gen::enumerate_terms;
@@ -43,6 +43,9 @@ pub struct DifferentialConfig {
     /// Resource budget applied to every checker run and to the
     /// rewriter-vs-model oracle's normalizations.
     pub fuel: Fuel,
+    /// Cooperative supervision (deadline / cancellation) threaded through
+    /// every checker run and oracle normalization. Inert by default.
+    pub supervisor: Supervisor,
 }
 
 impl Default for DifferentialConfig {
@@ -53,6 +56,7 @@ impl Default for DifferentialConfig {
             jobs: 4,
             probe: ProbeConfig::default(),
             fuel: Fuel::default(),
+            supervisor: Supervisor::none(),
         }
     }
 }
@@ -81,6 +85,9 @@ pub struct DifferentialReport {
     pub checker_diffs: Vec<String>,
     /// Rewriter-vs-model disagreements.
     pub mismatches: Vec<OracleMismatch>,
+    /// Oracle terms the supervisor stopped before a verdict. Partial
+    /// coverage, not a failure: [`DifferentialReport::passed`] ignores it.
+    pub interrupted: usize,
 }
 
 impl DifferentialReport {
@@ -103,6 +110,12 @@ impl DifferentialReport {
                 m.term, m.normal_form, m.detail
             ));
         }
+        if self.interrupted > 0 {
+            out.push_str(&format!(
+                "interrupted: {} oracle term(s) stopped before a verdict\n",
+                self.interrupted
+            ));
+        }
         out
     }
 }
@@ -111,8 +124,12 @@ impl DifferentialReport {
 /// sequentially and with `cfg.jobs` workers and reports any divergence
 /// between the two reports.
 pub fn differential_spec_check(spec: &Spec, cfg: &DifferentialConfig) -> DifferentialReport {
-    let seq_cfg = CheckConfig::jobs(1).with_fuel(cfg.fuel);
-    let par_cfg = CheckConfig::jobs(cfg.jobs).with_fuel(cfg.fuel);
+    let seq_cfg = CheckConfig::jobs(1)
+        .with_fuel(cfg.fuel)
+        .with_supervisor(cfg.supervisor.clone());
+    let par_cfg = CheckConfig::jobs(cfg.jobs)
+        .with_fuel(cfg.fuel)
+        .with_supervisor(cfg.supervisor.clone());
     let comp_seq = check_completeness_with_config(spec, &seq_cfg);
     let comp_par = check_completeness_with_config(spec, &par_cfg);
     let cons_seq = check_consistency_with_config(spec, &cfg.probe, &seq_cfg);
@@ -122,6 +139,7 @@ pub fn differential_spec_check(spec: &Spec, cfg: &DifferentialConfig) -> Differe
         terms_tested: 0,
         checker_diffs: diff_reports(&comp_seq, &comp_par, &cons_seq, &cons_par),
         mismatches: Vec::new(),
+        interrupted: 0,
     }
 }
 
@@ -141,8 +159,12 @@ pub fn differential_spec_check_session(
     session: &Session,
     cfg: &DifferentialConfig,
 ) -> DifferentialReport {
-    let seq_cfg = CheckConfig::jobs(1).with_fuel(cfg.fuel);
-    let par_cfg = CheckConfig::jobs(cfg.jobs).with_fuel(cfg.fuel);
+    let seq_cfg = CheckConfig::jobs(1)
+        .with_fuel(cfg.fuel)
+        .with_supervisor(cfg.supervisor.clone());
+    let par_cfg = CheckConfig::jobs(cfg.jobs)
+        .with_fuel(cfg.fuel)
+        .with_supervisor(cfg.supervisor.clone());
     let comp_seq = check_completeness_session(session, &seq_cfg);
     let comp_par = check_completeness_session(session, &par_cfg);
     let cons_seq = check_consistency_session(session, &cfg.probe, &seq_cfg);
@@ -152,6 +174,7 @@ pub fn differential_spec_check_session(
         terms_tested: 0,
         checker_diffs: diff_reports(&comp_seq, &comp_par, &cons_seq, &cons_par),
         mismatches: Vec::new(),
+        interrupted: 0,
     }
 }
 
@@ -217,12 +240,18 @@ pub fn differential_check(
     let mut report = differential_spec_check(spec, cfg);
 
     let sig = spec.sig();
-    let rw = Rewriter::new(spec).with_budget(cfg.fuel);
+    let rw = Rewriter::new(spec)
+        .with_budget(cfg.fuel)
+        .supervised(cfg.supervisor.clone());
     let terms = enumerate_terms(sig, cfg.max_arg_depth, cfg.cap_per_op);
     for t in &terms {
         let rendered = display::term(sig, t).to_string();
         let nf = match rw.normalize(t) {
             Ok(nf) => nf,
+            Err(RewriteError::Interrupted { .. }) => {
+                report.interrupted += 1;
+                continue;
+            }
             Err(e) => {
                 report.mismatches.push(OracleMismatch {
                     term: rendered,
@@ -266,13 +295,19 @@ pub fn differential_check_session(
     let mut report = differential_spec_check_session(session, cfg);
 
     let sig = spec.sig();
-    let rw = Rewriter::for_session(session).with_budget(cfg.fuel);
+    let rw = Rewriter::for_session(session)
+        .with_budget(cfg.fuel)
+        .supervised(cfg.supervisor.clone());
     let terms = enumerate_terms(sig, cfg.max_arg_depth, cfg.cap_per_op);
     for t in &terms {
         let rendered = display::term(sig, t).to_string();
         let id = session.intern(t);
         let nf = match rw.normalize_id(session, id) {
             Ok(nf_id) => session.term(nf_id),
+            Err(RewriteError::Interrupted { .. }) => {
+                report.interrupted += 1;
+                continue;
+            }
             Err(e) => {
                 report.mismatches.push(OracleMismatch {
                     term: rendered,

@@ -231,3 +231,53 @@ fn incomplete_spec_yields_partial_verdict_without_panicking() {
     }
     let _ = fs::remove_file(path);
 }
+
+#[test]
+fn exhaust_faults_are_never_rescued_by_the_retry_ladder() {
+    // The retry ladder exists to rescue *honest* fuel exhaustion. An
+    // injected exhaust fault must stay pinned at rung 0: if the ladder
+    // re-ran the sabotaged item at a bigger budget it would come back
+    // clean, and the isolation harness would be comparing the wrong run.
+    use adt_check::RetryFuel;
+    let spec = adt_dsl::parse(sources::QUEUE).expect("shipped spec parses");
+    let plan = parse_fault_plan("seed=3,exhaust=2").expect("plan parses");
+    let probe = ProbeConfig::default();
+    for jobs in [1, 4] {
+        let base = CheckConfig::jobs(jobs).with_faults(plan.clone());
+        let with_retry = base.clone().with_retry(RetryFuel::default());
+        let plain = check_consistency_with_config(&spec, &probe, &base);
+        let retried = check_consistency_with_config(&spec, &probe, &with_retry);
+        assert_eq!(
+            plain.pair_verdicts(),
+            retried.pair_verdicts(),
+            "jobs {jobs}: retry must not touch exhaust-faulted pairs"
+        );
+        assert_eq!(
+            plain.probe_verdicts(),
+            retried.probe_verdicts(),
+            "jobs {jobs}: retry must not touch exhaust-faulted probes"
+        );
+        assert!(
+            retried.stats().retries.is_empty(),
+            "jobs {jobs}: no rung may claim a faulted rescue: {:?}",
+            retried.stats().retries
+        );
+
+        let comp_plain = check_completeness_with_config(&spec, &base);
+        let comp_retried = check_completeness_with_config(&spec, &with_retry);
+        assert_eq!(
+            comp_plain.coverage(),
+            comp_retried.coverage(),
+            "jobs {jobs}: retry must not touch exhaust-faulted operations"
+        );
+    }
+
+    // The isolation harness agrees even with the ladder armed.
+    let report = fault_isolation_check(
+        &spec,
+        &ProbeConfig::default(),
+        &plan,
+        &CheckConfig::jobs(4).with_retry(RetryFuel::default()),
+    );
+    assert!(report.isolated(), "{}", report.render());
+}
